@@ -1,0 +1,106 @@
+// Command delprof is the node timing profiler of §5.2: it runs a program
+// with individual node timing turned on and prints the per-invocation
+// listing ("call of convol_bite took 1059919") followed by a per-operator
+// summary sorted by total time — the tool the paper's authors used to find
+// and fix load imbalance in under a day.
+//
+//	delprof -app queens queens.dlr
+//	delprof -sim -machine cray program.dlr     deterministic virtual ticks
+//	delprof -top 5 program.dlr                 summary only, five rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	goruntime "runtime"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/compile"
+	"repro/internal/runtime"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", goruntime.NumCPU(), "processors")
+		sim      = flag.Bool("sim", true, "use the simulated executor (deterministic ticks)")
+		machName = flag.String("machine", "cray", "simulated machine profile")
+		app      = flag.String("app", "builtins", "operator registry")
+		top      = flag.Int("top", 0, "print only the top-N summary rows (0 = listing + full summary)")
+		filter   = flag.String("ops", "", "comma-separated operator names to list (empty = all)")
+		gantt    = flag.Int("gantt", 0, "render a per-processor timeline this many cells wide")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: delprof [flags] program.dlr [args...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	name, src, err := cli.LoadSource(flag.Arg(0))
+	fail(err)
+	reg, err := cli.Registry(*app)
+	fail(err)
+	mach, err := cli.Machine(*machName)
+	fail(err)
+
+	res, err := compile.Compile(name, src, compile.Options{Registry: reg})
+	fail(err)
+
+	mode := runtime.Real
+	unit := "ns"
+	if *sim {
+		mode = runtime.Simulated
+		unit = "ticks"
+	}
+	eng := runtime.New(res.Program, runtime.Config{
+		Mode: mode, Workers: *workers, Machine: mach, Timing: true})
+	out, err := eng.Run(cli.ParseArgs(flag.Args()[1:])...)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "result: %v\n\n", out)
+
+	log := eng.Timing()
+	if *top == 0 {
+		var names map[string]bool
+		if *filter != "" {
+			names = make(map[string]bool)
+			start := 0
+			for i := 0; i <= len(*filter); i++ {
+				if i == len(*filter) || (*filter)[i] == ',' {
+					if i > start {
+						names[(*filter)[start:i]] = true
+					}
+					start = i + 1
+				}
+			}
+		}
+		fmt.Print(log.Listing(names))
+		fmt.Println()
+	}
+
+	if *gantt > 0 {
+		fmt.Println(log.Gantt(*gantt))
+		loads := log.ProcLoads()
+		for p, l := range loads {
+			fmt.Printf("proc %2d busy %d %s\n", p, l, unit)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("%-20s %8s %14s %14s %14s\n", "operator", "calls", "total "+unit, "mean "+unit, "max "+unit)
+	rows := log.Summarize()
+	if *top > 0 && *top < len(rows) {
+		rows = rows[:*top]
+	}
+	for _, s := range rows {
+		fmt.Printf("%-20s %8d %14d %14d %14d\n",
+			s.Name, s.Calls, s.Total, s.Total/int64(s.Calls), s.Max)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delprof:", err)
+		os.Exit(1)
+	}
+}

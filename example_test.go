@@ -1,0 +1,99 @@
+package delirium_test
+
+import (
+	"fmt"
+	"log"
+
+	delirium "repro"
+)
+
+// Example compiles the paper's §2.1 fork/join fragment and runs it on four
+// workers; the four convolve operators execute in parallel between init_fn
+// and term_fn.
+func Example() {
+	reg := delirium.NewRegistry(delirium.Builtins())
+	reg.MustRegister(&delirium.Operator{
+		Name: "init_fn", Arity: 0,
+		Fn: func(ctx delirium.Context, _ []delirium.Value) (delirium.Value, error) {
+			return delirium.Int(100), nil
+		},
+	})
+	reg.MustRegister(&delirium.Operator{
+		Name: "convolve", Arity: 2,
+		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
+			return args[0].(delirium.Int) + args[1].(delirium.Int), nil
+		},
+	})
+	reg.MustRegister(&delirium.Operator{
+		Name: "term_fn", Arity: 4,
+		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
+			var sum delirium.Int
+			for _, a := range args {
+				sum += a.(delirium.Int)
+			}
+			return sum, nil
+		},
+	})
+
+	src := `
+main()
+  let
+    a_start=init_fn()
+    a=convolve(a_start,0)
+    b=convolve(a_start,1)
+    c=convolve(a_start,2)
+    d=convolve(a_start,3)
+  in term_fn(a,b,c,d)
+`
+	prog, err := delirium.Compile("forkjoin.dlr", src, delirium.CompileOptions{Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := prog.Run(delirium.RunConfig{Mode: delirium.Real, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: 406
+}
+
+// ExampleProgram_Run shows deterministic execution on the simulated
+// Cray Y-MP: virtual time and the result are identical on every host.
+func ExampleProgram_Run() {
+	src := `
+fib(n) if lt(n, 2) then n else add(fib(sub(n, 1)), fib(sub(n, 2)))
+main(n) fib(n)
+`
+	prog, err := delirium.Compile("fib.dlr", src, delirium.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, stats, _, err := prog.RunStats(delirium.RunConfig{
+		Mode: delirium.Simulated, Workers: 4, Machine: delirium.CrayYMP(),
+	}, delirium.Int(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, stats.MakespanTicks > 0)
+	// Output: 144 true
+}
+
+// ExamplePrelude maps and reduces with the dynamic-width coordination
+// structures: the parallel width follows the data, not the program text.
+func ExamplePrelude() {
+	src := `
+square(x) mul(x, x)
+plus(a, b) add(a, b)
+main(n) parreduce(plus, 0, parmap(square, iota(n)))
+`
+	prog, err := delirium.Compile("sumsq.dlr", delirium.Prelude()+src, delirium.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := prog.Run(delirium.RunConfig{Mode: delirium.Real, Workers: 4}, delirium.Int(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: 385
+}

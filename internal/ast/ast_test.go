@@ -1,0 +1,112 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+)
+
+func TestRefKindStrings(t *testing.T) {
+	names := map[RefKind]string{
+		RefUnresolved: "unresolved", RefParam: "parameter", RefLet: "let-binding",
+		RefFunc: "function", RefOperator: "operator", RefCapture: "capture",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if RefKind(99).String() != "refkind?" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestPosPropagation(t *testing.T) {
+	p := source.Pos{File: "x.dlr", Line: 3, Col: 4}
+	exprs := []Expr{
+		&IntLit{P: p}, &FloatLit{P: p}, &StrLit{P: p}, &NullLit{P: p},
+		&Ident{P: p}, &Call{P: p}, &TupleExpr{P: p}, &Let{P: p},
+		&If{P: p}, &Iterate{P: p},
+	}
+	for _, e := range exprs {
+		if e.Pos() != p {
+			t.Errorf("%T.Pos() = %v", e, e.Pos())
+		}
+	}
+	f := &FuncDecl{P: p}
+	if f.Pos() != p {
+		t.Error("FuncDecl.Pos wrong")
+	}
+}
+
+func TestProgramFunc(t *testing.T) {
+	prog := &Program{Funcs: []*FuncDecl{{Name: "a"}, {Name: "b"}}}
+	if prog.Func("b") == nil || prog.Func("b").Name != "b" {
+		t.Error("Func lookup failed")
+	}
+	if prog.Func("zzz") != nil {
+		t.Error("missing function found")
+	}
+}
+
+func TestWalkNilSafe(t *testing.T) {
+	Walk(nil, func(Expr) bool { t.Error("visited nil"); return true })
+	if Rewrite(nil, func(e Expr) Expr { return e }) != nil {
+		t.Error("Rewrite(nil) should be nil")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestCountOnConstructedTree(t *testing.T) {
+	e := &Call{
+		Fun: &Ident{Name: "f"},
+		Args: []Expr{
+			&IntLit{Val: 1},
+			&If{Cond: &Ident{Name: "c"}, Then: &IntLit{Val: 2}, Else: &NullLit{}},
+		},
+	}
+	// call + callee ident + int + if + cond ident + then int + else null = 7
+	if got := Count(e); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+}
+
+func TestPrintFloatAlwaysReparsesAsFloat(t *testing.T) {
+	// A float with an integral value must still print as a float literal.
+	out := Print(&FloatLit{Val: 4})
+	if !strings.ContainsAny(out, ".eE") {
+		t.Errorf("Print(Float 4) = %q, would re-lex as an integer", out)
+	}
+}
+
+func TestPrintUnknownNode(t *testing.T) {
+	// The printer degrades gracefully on a foreign node type.
+	out := Print(unknownExpr{})
+	if !strings.Contains(out, "?") {
+		t.Errorf("Print(unknown) = %q", out)
+	}
+}
+
+type unknownExpr struct{}
+
+func (unknownExpr) Pos() source.Pos { return source.Pos{} }
+func (unknownExpr) exprNode()       {}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	f := &FuncDecl{
+		Name:     "f",
+		Params:   []string{"a"},
+		Captures: []string{"k"},
+		Body:     &Ident{Name: "a", Ref: RefParam},
+	}
+	c := CloneFunc(f)
+	c.Params[0] = "changed"
+	c.Captures[0] = "changed"
+	c.Body.(*Ident).Name = "changed"
+	if f.Params[0] != "a" || f.Captures[0] != "k" || f.Body.(*Ident).Name != "a" {
+		t.Error("CloneFunc shares state with the original")
+	}
+}

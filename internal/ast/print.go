@@ -1,0 +1,127 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an expression back to Delirium source. The output is
+// re-parseable; round-trip tests in the parser package rely on this.
+func Print(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+// PrintProgram renders an entire program, defines first, then functions.
+func PrintProgram(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Defines {
+		fmt.Fprintf(&b, "define %s %s\n", d.Name, Print(d.Expr))
+	}
+	if len(p.Defines) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printFunc(&b, f, 0)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s(%s)\n%s  ", ind, f.Name, strings.Join(f.Params, ","), ind)
+	printExpr(b, f.Body, depth+1)
+}
+
+func printExpr(b *strings.Builder, e Expr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch x := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Val)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.Val)
+		// Guarantee a float spelling so the literal re-lexes as FLOAT.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *StrLit:
+		fmt.Fprintf(b, "%q", x.Val)
+	case *NullLit:
+		b.WriteString("NULL")
+	case *Ident:
+		b.WriteString(x.Name)
+	case *Call:
+		printExpr(b, x.Fun, depth)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a, depth)
+		}
+		b.WriteByte(')')
+	case *TupleExpr:
+		b.WriteByte('<')
+		for i, el := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, el, depth)
+		}
+		b.WriteByte('>')
+	case *Let:
+		b.WriteString("let\n")
+		for _, bd := range x.Binds {
+			b.WriteString(ind)
+			b.WriteString("  ")
+			switch bd.Kind {
+			case BindValue:
+				fmt.Fprintf(b, "%s = ", bd.Names[0])
+				printExpr(b, bd.Init, depth+1)
+			case BindTuple:
+				fmt.Fprintf(b, "<%s> = ", strings.Join(bd.Names, ","))
+				printExpr(b, bd.Init, depth+1)
+			case BindFunc:
+				fmt.Fprintf(b, "%s(%s)\n%s    ", bd.Fn.Name, strings.Join(bd.Fn.Params, ","), ind)
+				printExpr(b, bd.Fn.Body, depth+2)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString(ind)
+		b.WriteString("in ")
+		printExpr(b, x.Body, depth)
+	case *If:
+		b.WriteString("if ")
+		printExpr(b, x.Cond, depth)
+		fmt.Fprintf(b, "\n%s  then ", ind)
+		printExpr(b, x.Then, depth+1)
+		fmt.Fprintf(b, "\n%s  else ", ind)
+		printExpr(b, x.Else, depth+1)
+	case *Iterate:
+		b.WriteString("iterate\n")
+		b.WriteString(ind)
+		b.WriteString("{\n")
+		for _, iv := range x.Vars {
+			b.WriteString(ind)
+			b.WriteString("  ")
+			fmt.Fprintf(b, "%s = ", iv.Name)
+			printExpr(b, iv.Init, depth+1)
+			b.WriteString(", ")
+			printExpr(b, iv.Next, depth+1)
+			b.WriteByte('\n')
+		}
+		b.WriteString(ind)
+		b.WriteString("} while ")
+		printExpr(b, x.Cond, depth)
+		fmt.Fprintf(b, ",\n%sresult ", ind)
+		printExpr(b, x.Result, depth)
+	default:
+		fmt.Fprintf(b, "/*?%T*/", e)
+	}
+}

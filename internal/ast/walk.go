@@ -1,0 +1,206 @@
+package ast
+
+// Visitor is called for every expression node during a Walk. Returning false
+// prunes the subtree below e.
+type Visitor func(e Expr) bool
+
+// Walk performs a pre-order traversal of the expression tree rooted at e,
+// including the bodies of let-bound function definitions.
+func Walk(e Expr, v Visitor) {
+	if e == nil || !v(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *IntLit, *FloatLit, *StrLit, *NullLit, *Ident:
+	case *Call:
+		Walk(x.Fun, v)
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *TupleExpr:
+		for _, el := range x.Elems {
+			Walk(el, v)
+		}
+	case *Let:
+		for _, b := range x.Binds {
+			if b.Fn != nil {
+				Walk(b.Fn.Body, v)
+			} else {
+				Walk(b.Init, v)
+			}
+		}
+		Walk(x.Body, v)
+	case *If:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *Iterate:
+		for _, iv := range x.Vars {
+			Walk(iv.Init, v)
+			Walk(iv.Next, v)
+		}
+		Walk(x.Cond, v)
+		Walk(x.Result, v)
+	}
+}
+
+// Rewriter transforms an expression bottom-up. It receives a node whose
+// children have already been rewritten and returns its replacement.
+type Rewriter func(e Expr) Expr
+
+// Rewrite applies r bottom-up over the tree rooted at e and returns the new
+// root. Child slices are rewritten in place on fresh nodes only when a child
+// changed, so shared structure is preserved where possible.
+func Rewrite(e Expr, r Rewriter) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *IntLit, *FloatLit, *StrLit, *NullLit, *Ident:
+		return r(e)
+	case *Call:
+		fun := Rewrite(x.Fun, r)
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Rewrite(a, r)
+		}
+		return r(&Call{P: x.P, Fun: fun, Args: args, Tail: x.Tail})
+	case *TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = Rewrite(el, r)
+		}
+		return r(&TupleExpr{P: x.P, Elems: elems})
+	case *Let:
+		binds := make([]*Bind, len(x.Binds))
+		for i, b := range x.Binds {
+			nb := &Bind{P: b.P, Kind: b.Kind, Names: b.Names}
+			if b.Fn != nil {
+				nf := *b.Fn
+				nf.Body = Rewrite(b.Fn.Body, r)
+				nb.Fn = &nf
+			} else {
+				nb.Init = Rewrite(b.Init, r)
+			}
+			binds[i] = nb
+		}
+		return r(&Let{P: x.P, Binds: binds, Body: Rewrite(x.Body, r)})
+	case *If:
+		return r(&If{P: x.P, Cond: Rewrite(x.Cond, r), Then: Rewrite(x.Then, r), Else: Rewrite(x.Else, r)})
+	case *Iterate:
+		vars := make([]*IterVar, len(x.Vars))
+		for i, iv := range x.Vars {
+			vars[i] = &IterVar{P: iv.P, Name: iv.Name, Init: Rewrite(iv.Init, r), Next: Rewrite(iv.Next, r)}
+		}
+		return r(&Iterate{P: x.P, Vars: vars, Cond: Rewrite(x.Cond, r), Result: Rewrite(x.Result, r)})
+	default:
+		return r(e)
+	}
+}
+
+// Clone returns a deep copy of the expression tree, preserving resolution
+// metadata on identifiers. The inliner clones callee bodies before
+// substituting arguments.
+func Clone(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StrLit:
+		c := *x
+		return &c
+	case *NullLit:
+		c := *x
+		return &c
+	case *Ident:
+		c := *x
+		return &c
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Clone(a)
+		}
+		return &Call{P: x.P, Fun: Clone(x.Fun), Args: args, Tail: x.Tail}
+	case *TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = Clone(el)
+		}
+		return &TupleExpr{P: x.P, Elems: elems}
+	case *Let:
+		binds := make([]*Bind, len(x.Binds))
+		for i, b := range x.Binds {
+			nb := &Bind{P: b.P, Kind: b.Kind, Names: append([]string(nil), b.Names...)}
+			if b.Fn != nil {
+				nb.Fn = CloneFunc(b.Fn)
+			} else {
+				nb.Init = Clone(b.Init)
+			}
+			binds[i] = nb
+		}
+		return &Let{P: x.P, Binds: binds, Body: Clone(x.Body)}
+	case *If:
+		return &If{P: x.P, Cond: Clone(x.Cond), Then: Clone(x.Then), Else: Clone(x.Else)}
+	case *Iterate:
+		vars := make([]*IterVar, len(x.Vars))
+		for i, iv := range x.Vars {
+			vars[i] = &IterVar{P: iv.P, Name: iv.Name, Init: Clone(iv.Init), Next: Clone(iv.Next)}
+		}
+		return &Iterate{P: x.P, Vars: vars, Cond: Clone(x.Cond), Result: Clone(x.Result)}
+	default:
+		return e
+	}
+}
+
+// CloneFunc deep-copies a function declaration.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	return &FuncDecl{
+		P:         f.P,
+		Name:      f.Name,
+		Params:    append([]string(nil), f.Params...),
+		Body:      Clone(f.Body),
+		Captures:  append([]string(nil), f.Captures...),
+		Recursive: f.Recursive,
+	}
+}
+
+// CloneProgram deep-copies an entire program. The parallel compiler clones
+// before destructive passes so that sequential/parallel runs over the same
+// input are independent.
+func CloneProgram(p *Program) *Program {
+	np := &Program{File: p.File}
+	for _, d := range p.Defines {
+		np.Defines = append(np.Defines, &Define{P: d.P, Name: d.Name, Expr: Clone(d.Expr)})
+	}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, CloneFunc(f))
+	}
+	return np
+}
+
+// Count returns the number of expression nodes in the tree rooted at e. It
+// is the weight annotation of §6.2: "every tree node is annotated with the
+// size of the subtree below it".
+func Count(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) bool { n++; return true })
+	return n
+}
+
+// CountProgram totals Count over every function body and define expression.
+func CountProgram(p *Program) int {
+	n := 0
+	for _, d := range p.Defines {
+		n += Count(d.Expr)
+	}
+	for _, f := range p.Funcs {
+		n += Count(f.Body)
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/runtime"
+)
+
+func testCfg() Config { return Config{Inputs: 8, Gates: 64, Cycles: 5, Seed: 3} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Inputs: 0, Gates: 64, Cycles: 1},
+		{Inputs: 8, Gates: 2, Cycles: 1},
+		{Inputs: 8, Gates: 64, Cycles: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestGateEval(t *testing.T) {
+	c := &Circuit{Prev: []bool{false, true}}
+	cases := []struct {
+		op   GateOp
+		a, b int
+		want bool
+	}{
+		{AND, 1, 1, true},
+		{AND, 0, 1, false},
+		{OR, 0, 1, true},
+		{OR, 0, 0, false},
+		{NOT, 0, 0, true},
+		{NOT, 1, 0, false},
+		{XOR, 0, 1, true},
+		{XOR, 1, 1, false},
+		{NAND, 1, 1, false},
+		{NAND, 0, 1, true},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(Gate{Op: tc.op, A: tc.a, B: tc.b}); got != tc.want {
+			t.Errorf("%s(%d,%d) = %v, want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestGateOpString(t *testing.T) {
+	names := map[GateOp]string{AND: "AND", OR: "OR", NOT: "NOT", XOR: "XOR", NAND: "NAND"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	a, b := Reference(testCfg()), Reference(testCfg())
+	if !Equal(a, b) {
+		t.Fatal("Reference not deterministic")
+	}
+	if a.Cycle != 5 {
+		t.Errorf("Cycle = %d, want 5", a.Cycle)
+	}
+	if a.Signature == 0 {
+		t.Error("signature never folded")
+	}
+	// Different seed, different behaviour.
+	other := Reference(Config{Inputs: 8, Gates: 64, Cycles: 5, Seed: 4})
+	if a.Signature == other.Signature {
+		t.Error("seeds should vary the signature")
+	}
+}
+
+func TestNetlistWiringIsCausal(t *testing.T) {
+	c := New(testCfg())
+	for i, g := range c.Gates {
+		limit := c.Cfg.Inputs + i
+		if g.A >= limit || g.B >= limit {
+			t.Fatalf("gate %d reads wire beyond %d: %+v", i, limit, g)
+		}
+	}
+}
+
+func TestDeliriumMatchesReference(t *testing.T) {
+	cfg := testCfg()
+	want := Reference(cfg)
+	for _, workers := range []int{1, 4} {
+		got, eng, err := Run(cfg, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 2_000_000})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !Equal(got, want) {
+			t.Errorf("workers=%d: simulation differs from reference (sig %x vs %x)",
+				workers, got.Signature, want.Signature)
+		}
+		if eng.Stats().Blocks.Copies != 0 {
+			t.Errorf("workers=%d: %d copies, want 0", workers, eng.Stats().Blocks.Copies)
+		}
+	}
+}
+
+func TestDeliriumMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, gates uint8, cycles uint8) bool {
+		cfg := Config{
+			Inputs: 6,
+			Gates:  int(gates%60) + Parts,
+			Cycles: int(cycles%4) + 1,
+			Seed:   seed,
+		}
+		want := Reference(cfg)
+		got, _, err := Run(cfg, runtime.Config{Mode: runtime.Real, Workers: 3, MaxOps: 2_000_000})
+		return err == nil && Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulatedDeterministic(t *testing.T) {
+	cfg := testCfg()
+	var sigs []uint64
+	var spans []int64
+	for i := 0; i < 2; i++ {
+		c, eng, err := Run(cfg, runtime.Config{Mode: runtime.Simulated, Workers: 4, MaxOps: 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, c.Signature)
+		spans = append(spans, eng.Stats().MakespanTicks)
+	}
+	if sigs[0] != sigs[1] || spans[0] != spans[1] {
+		t.Errorf("not deterministic: sigs %v spans %v", sigs, spans)
+	}
+}
+
+func TestPartRangeCoversGates(t *testing.T) {
+	total := 0
+	last := 0
+	for i := 0; i < Parts; i++ {
+		g0, g1 := PartRange(113, i)
+		if g0 != last {
+			t.Errorf("part %d starts at %d, want %d", i, g0, last)
+		}
+		total += g1 - g0
+		last = g1
+	}
+	if total != 113 {
+		t.Errorf("parts cover %d gates, want 113", total)
+	}
+}

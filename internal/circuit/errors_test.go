@@ -1,0 +1,97 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+// opCall invokes a registered operator directly with raw values, to
+// exercise the misuse paths a malformed coordination program would hit.
+func opCall(t *testing.T, reg *operator.Registry, name string, args ...value.Value) (value.Value, error) {
+	t.Helper()
+	op, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %s missing", name)
+	}
+	return op.Fn(operator.NopContext, args)
+}
+
+func TestOperatorMisuse(t *testing.T) {
+	reg, err := Operators(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := value.NewBlock(&value.Opaque{Payload: "not a circuit", Words: 1})
+	cases := []struct {
+		op   string
+		args []value.Value
+		want string
+	}{
+		{"ckt_split", []value.Value{value.Int(1)}, "block argument required"},
+		{"ckt_split", []value.Value{wrong}, "expected circuit"},
+		{"ckt_bite", []value.Value{wrong, value.Int(0)}, "expected gate piece"},
+		{"ckt_latch", []value.Value{wrong, wrong, wrong, wrong}, "expected gate piece"},
+		{"ckt_bite", []value.Value{nil, value.Int(0)}, "missing block"},
+	}
+	for _, c := range cases {
+		_, err := opCall(t, reg, c.op, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.op, err, c.want)
+		}
+	}
+}
+
+func TestBiteRejectsNonIntCycle(t *testing.T) {
+	reg, err := Operators(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := opCall(t, reg, "ckt_setup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces, err := opCall(t, reg, "ckt_split", setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := pieces.(value.Tuple)[0]
+	if _, err := opCall(t, reg, "ckt_bite", p0, value.Str("x")); err == nil {
+		t.Error("non-integer cycle accepted")
+	}
+}
+
+func TestLatchRequiresCircuitCarrier(t *testing.T) {
+	reg, err := Operators(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := opCall(t, reg, "ckt_setup")
+	pieces, _ := opCall(t, reg, "ckt_split", setup)
+	tup := pieces.(value.Tuple)
+	// Drop piece 0 (the circuit carrier) and duplicate piece 1.
+	_, err = opCall(t, reg, "ckt_latch", tup[1], tup[1], tup[2], tup[3])
+	if err == nil || !strings.Contains(err.Error(), "no piece carried the circuit") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExtractCircuitErrors(t *testing.T) {
+	if _, err := ExtractCircuit(value.Int(1)); err == nil {
+		t.Error("non-block accepted")
+	}
+	if _, err := ExtractCircuit(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestOperatorsRejectBadConfig(t *testing.T) {
+	if _, err := Operators(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := CompileProgram(Config{}); err == nil {
+		t.Error("CompileProgram with bad config accepted")
+	}
+}

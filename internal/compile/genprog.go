@@ -1,0 +1,115 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generate produces a deterministic synthetic Delirium program with
+// approximately nFuncs functions, used as the compiler workload for the
+// Table 1 reproduction. The program exercises every construct the passes
+// care about: symbolic constants (macro expansion), deep expression trees
+// and multiple-value packages (parsing, graph conversion), nested and
+// first-class functions (environment analysis), duplicate pure
+// subexpressions, foldable constants and tiny callees (optimization), and
+// conditionals plus iteration (lowering).
+//
+// The output is a valid program: the call graph is a DAG over function
+// indices, so it also runs if executed (main calls a bounded cascade).
+func Generate(nFuncs int, seed int64) string {
+	if nFuncs < 4 {
+		nFuncs = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	b.WriteString("-- synthetic compiler workload (generated)\n")
+	b.WriteString("define K1 3\ndefine K2 7\ndefine LIMIT 5\ndefine BIAS add(K1, K2)\n\n")
+
+	for i := 0; i < nFuncs; i++ {
+		switch i % 4 {
+		case 0:
+			genTiny(&b, i, rng)
+		case 1:
+			genArith(&b, i, rng)
+		case 2:
+			genBranchy(&b, i, rng)
+		default:
+			genLoopy(&b, i, rng)
+		}
+	}
+
+	// main exercises the most recent functions.
+	fmt.Fprintf(&b, "main()\n  let r1 = %s\n      r2 = %s\n  in add(r1, r2)\n",
+		callTo(nFuncs-1, "1", "2"), callTo(nFuncs-2, "3", "4"))
+	return b.String()
+}
+
+func fname(i int) string { return fmt.Sprintf("f%d", i) }
+
+// callTo builds a call to function i with arity matching its shape.
+func callTo(i int, a, bb string) string {
+	if i < 0 {
+		return "incr(" + a + ")"
+	}
+	if i%4 == 0 {
+		return fmt.Sprintf("%s(%s)", fname(i), a)
+	}
+	return fmt.Sprintf("%s(%s, %s)", fname(i), a, bb)
+}
+
+// genTiny emits an inline-expansion candidate.
+func genTiny(b *strings.Builder, i int, rng *rand.Rand) {
+	fmt.Fprintf(b, "%s(x) add(mul(x, K1), %d)\n\n", fname(i), rng.Intn(50))
+}
+
+// genArith emits a straight-line function with CSE and folding fodder.
+func genArith(b *strings.Builder, i int, rng *rand.Rand) {
+	c1, c2 := rng.Intn(9)+1, rng.Intn(9)+1
+	callee := callTo(i-rng.Intn(minInt(i, 3)+1)-1, "a", "b")
+	fmt.Fprintf(b, `%s(p, q)
+  let a = add(mul(p, %d), BIAS)
+      b = add(mul(p, %d), q)
+      folded = mul(%d, %d)
+      joined = %s
+  in add(add(a, b), add(folded, joined))
+
+`, fname(i), c1, c1, c1, c2, callee)
+}
+
+// genBranchy emits conditionals over multiple-value packages.
+func genBranchy(b *strings.Builder, i int, rng *rand.Rand) {
+	c := rng.Intn(20)
+	fmt.Fprintf(b, `%s(p, q)
+  let <lo, hi> = <min(p, q), max(p, q)>
+      spread = sub(hi, lo)
+  in if lt(spread, %d)
+      then %s
+      else add(spread, K2)
+
+`, fname(i), c, callTo(i-1, "lo", "hi"))
+}
+
+// genLoopy emits iteration with a nested helper function.
+func genLoopy(b *strings.Builder, i int, rng *rand.Rand) {
+	step := rng.Intn(3) + 1
+	fmt.Fprintf(b, `%s(p, q)
+  let base = max(p, 1)
+      stepf(v) add(v, mul(base, %d))
+  in iterate
+     {
+       k = 0, incr(k)
+       acc = q, stepf(acc)
+     } while lt(k, LIMIT),
+     result acc
+
+`, fname(i), step)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

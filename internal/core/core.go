@@ -1,0 +1,27 @@
+// Package core anchors the paper's primary contribution in the required
+// repository layout: the coordination model and its execution machinery.
+// The implementation lives in the sibling packages — internal/graph
+// (coordination graphs and templates) and internal/runtime (template
+// activation, the three-level priority ready queue, reference-count
+// enforcement, and the real and simulated executors) — with the language
+// front end in internal/lexer ... internal/compile. This package re-exports
+// the two central types so that downstream code can name the core without
+// importing the split.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Program is a compiled coordination-graph program.
+type Program = graph.Program
+
+// Engine executes a Program under the paper's run-time system.
+type Engine = runtime.Engine
+
+// Config configures an Engine.
+type Config = runtime.Config
+
+// New prepares an engine; see runtime.New.
+func New(p *Program, cfg Config) *Engine { return runtime.New(p, cfg) }

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/value"
+)
+
+func TestCoreAliasesExecute(t *testing.T) {
+	res, err := compile.Compile("t.dlr", "main() add(20, 22)", compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog *Program = res.Program
+	eng := New(prog, Config{Workers: 2})
+	v, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != value.Int(42) {
+		t.Errorf("result = %v, want 42", v)
+	}
+}

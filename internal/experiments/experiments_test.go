@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/retina"
+)
+
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper's Figure 1 shape for the balanced version:
+	// ~1.0 / ~2.0 / ~2.0 (no better than 2) / ~3.3.
+	if r := rows[0]; r.SpeedupV2 < 0.99 || r.SpeedupV2 > 1.01 {
+		t.Errorf("speedup(1) = %.2f, want 1.0", r.SpeedupV2)
+	}
+	if r := rows[1]; r.SpeedupV2 < 1.7 || r.SpeedupV2 > 2.1 {
+		t.Errorf("speedup(2) = %.2f, want ~1.9", r.SpeedupV2)
+	}
+	if rows[2].SpeedupV2 > rows[1].SpeedupV2*1.1 {
+		t.Errorf("speedup(3) = %.2f should not beat speedup(2) = %.2f",
+			rows[2].SpeedupV2, rows[1].SpeedupV2)
+	}
+	if r := rows[3]; r.SpeedupV2 < 2.9 || r.SpeedupV2 > 3.9 {
+		t.Errorf("speedup(4) = %.2f, want ~3.3", r.SpeedupV2)
+	}
+	// The unbalanced version caps near 2 on four processors.
+	if r := rows[3]; r.SpeedupV1 > 2.5 {
+		t.Errorf("unbalanced speedup(4) = %.2f, should cap near 2", r.SpeedupV1)
+	}
+	text, err := Fig1Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Figure 1") {
+		t.Error("Fig1Text header missing")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq, par, err := Table1(240, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lexing unchanged; total near the paper's 2.2x.
+	if seq.PassTicks["Lexing"] != par.PassTicks["Lexing"] {
+		t.Errorf("lexing changed: %d vs %d", seq.PassTicks["Lexing"], par.PassTicks["Lexing"])
+	}
+	total := float64(seq.TotalTicks) / float64(par.TotalTicks)
+	if total < 1.9 || total > 2.8 {
+		t.Errorf("total speedup = %.2f, want ~2.2", total)
+	}
+	text, err := Table1Text(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Lexing", "Parsing", "Totals"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table1Text missing %q", want)
+		}
+	}
+	wall, err := Table1WallText(120, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wall, "wall-clock") {
+		t.Error("wall-clock variant header missing")
+	}
+}
+
+func TestTable2Verbatim(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 has %d rows, want 9", len(rows))
+	}
+	if rows[0].Language != "Delirium" || rows[0].Notation != "embedding" {
+		t.Errorf("first row = %+v", rows[0])
+	}
+	embedding := 0
+	for _, r := range rows {
+		if r.Notation == "embedding" {
+			embedding++
+		}
+	}
+	if embedding != 1 {
+		t.Errorf("exactly one embedding language expected, got %d", embedding)
+	}
+	if !strings.Contains(Table2Text(), "restricted shared data") {
+		t.Error("Table2Text missing Delirium row")
+	}
+}
+
+func TestListings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	l1, err := Listing(retina.V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(l1, "call of post_up took") || !strings.Contains(l1, "call of convol_bite took") {
+		t.Errorf("unbalanced listing wrong:\n%s", l1)
+	}
+	l2, err := Listing(retina.V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(l2, "call of update_bite took") || !strings.Contains(l2, "call of done_up took") {
+		t.Errorf("balanced listing wrong:\n%s", l2)
+	}
+}
+
+func TestOverheadUnderThreePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, err := Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0 || f >= 0.03 {
+		t.Errorf("overhead = %.4f, want (0, 0.03)", f)
+	}
+}
+
+func TestPriorityAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := Priority(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solutions != 40 {
+		t.Errorf("7-queens solutions = %d, want 40", r.Solutions)
+	}
+	if r.PeakWithPriorities >= r.PeakFIFO {
+		t.Errorf("priorities should reduce peak: %d vs %d", r.PeakWithPriorities, r.PeakFIFO)
+	}
+}
+
+func TestAffinityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Affinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AffinityRow{}
+	for _, r := range rows {
+		byKey[r.Machine+"/"+r.Policy.String()] = r
+	}
+	bfNone := byKey["BBN Butterfly T2000/none"]
+	bfData := byKey["BBN Butterfly T2000/data"]
+	// On the NUMA machine, data affinity must cut memory cost.
+	if bfData.MemTicks >= bfNone.MemTicks {
+		t.Errorf("data affinity should reduce Butterfly memory ticks: %d vs %d",
+			bfData.MemTicks, bfNone.MemTicks)
+	}
+	// On the UMA Cray the policies are within noise of each other
+	// (identical memory pricing).
+	crNone := byKey["Cray Y-MP/none"]
+	crData := byKey["Cray Y-MP/data"]
+	ratio := float64(crData.Makespan) / float64(crNone.Makespan)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("UMA affinity effect too large: ratio %.3f", ratio)
+	}
+}
+
+func TestMemorySplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retinaRow *MemoryRow
+	for i := range rows {
+		if strings.HasPrefix(rows[i].Workload, "retina") {
+			retinaRow = &rows[i]
+		}
+	}
+	if retinaRow == nil {
+		t.Fatal("retina row missing")
+	}
+	// §7: templates represent over 80% of the runtime system's memory.
+	if retinaRow.Fraction <= 0.8 {
+		t.Errorf("retina template fraction = %.1f%%, want > 80%%", retinaRow.Fraction*100)
+	}
+	text, err := MemoryText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "template words") {
+		t.Error("MemoryText header missing")
+	}
+}
+
+func TestQueensText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	text, err := QueensText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "92 solutions") {
+		t.Errorf("queens text wrong:\n%s", text)
+	}
+}
+
+func TestWalksRun(t *testing.T) {
+	rows := Walks(20000, []int{1, 2}, 1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nanos <= 0 {
+			t.Errorf("%s n=%d took %d ns", r.Strategy, r.Workers, r.Nanos)
+		}
+	}
+	text := WalksText(20000, []int{1, 2}, 1)
+	if !strings.Contains(text, "synthesized") {
+		t.Error("WalksText missing strategies")
+	}
+}
+
+func TestOptAblationMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := OptAblation(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Full optimization must not schedule more work than no optimization.
+	if rows[2].OpsRun > rows[0].OpsRun {
+		t.Errorf("full opt ran more nodes: %d vs %d", rows[2].OpsRun, rows[0].OpsRun)
+	}
+	if rows[2].Makespan > rows[0].Makespan {
+		t.Errorf("full opt slower: %d vs %d", rows[2].Makespan, rows[0].Makespan)
+	}
+	text, err := OptAblationText(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "graph nodes") {
+		t.Error("header missing")
+	}
+}

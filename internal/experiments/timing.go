@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/treewalk"
+)
+
+// timeWalk times fn over a freshly built tree, taking the minimum of
+// `repeats` runs. The tree build is excluded from the measurement.
+func timeWalk(repeats int, fn func(*treewalk.Node), nodes int) int64 {
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := int64(1<<63 - 1)
+	for i := 0; i < repeats; i++ {
+		root := treewalk.Build(nodes, 4, 42)
+		t0 := time.Now()
+		fn(root)
+		if d := int64(time.Since(t0)); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// busy is a small deterministic per-node computation that makes the walk
+// compute-bound enough to show parallel scaling.
+func busy(v int) int {
+	x := uint64(v)*2862933555777941757 + 3037000493
+	for i := 0; i < 64; i++ {
+		x ^= x >> 13
+		x *= 1099511628211
+	}
+	return int(x & 0xffff)
+}

@@ -1,0 +1,95 @@
+// Package lexer implements the scanner for Delirium coordination programs.
+//
+// The surface language is deliberately tiny (§3 lists six constructs); the
+// token set is correspondingly small: identifiers, integer/float/string
+// literals, a handful of keywords (let, in, if, then, else, iterate, while,
+// result, define, NULL), and punctuation. Comments run from "--" to end of
+// line.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/source"
+)
+
+// Type enumerates Delirium token types.
+type Type int
+
+// Token types. EOF is returned forever once input is exhausted; ILLEGAL
+// carries a scan error in the token's literal text.
+const (
+	EOF Type = iota
+	ILLEGAL
+
+	IDENT  // target_bite
+	INT    // 42
+	FLOAT  // 2.5
+	STRING // "hello"
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LANGLE // <
+	RANGLE // >
+	COMMA  // ,
+	ASSIGN // =
+
+	KwLet     // let
+	KwIn      // in
+	KwIf      // if
+	KwThen    // then
+	KwElse    // else
+	KwIterate // iterate
+	KwWhile   // while
+	KwResult  // result
+	KwDefine  // define
+	KwNull    // NULL
+)
+
+var typeNames = map[Type]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL",
+	IDENT: "identifier", INT: "integer", FLOAT: "float", STRING: "string",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LANGLE: "'<'", RANGLE: "'>'", COMMA: "','", ASSIGN: "'='",
+	KwLet: "'let'", KwIn: "'in'", KwIf: "'if'", KwThen: "'then'",
+	KwElse: "'else'", KwIterate: "'iterate'", KwWhile: "'while'",
+	KwResult: "'result'", KwDefine: "'define'", KwNull: "'NULL'",
+}
+
+// String returns a human-readable token type name for diagnostics.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(t))
+}
+
+// Keywords maps identifier spellings to keyword token types.
+var Keywords = map[string]Type{
+	"let": KwLet, "in": KwIn, "if": KwIf, "then": KwThen, "else": KwElse,
+	"iterate": KwIterate, "while": KwWhile, "result": KwResult,
+	"define": KwDefine, "NULL": KwNull,
+}
+
+// Token is one lexical unit with its source position. For INT and FLOAT
+// tokens the parsed numeric value is stored alongside the literal text.
+type Token struct {
+	Type   Type
+	Lit    string
+	Pos    source.Pos
+	IntVal int64
+	FltVal float64
+}
+
+// String renders the token for error messages: keyword/punctuation tokens by
+// name, literal-bearing tokens with their text.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, INT, FLOAT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Type, t.Lit)
+	default:
+		return t.Type.String()
+	}
+}

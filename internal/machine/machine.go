@@ -1,0 +1,121 @@
+// Package machine defines simulated machine profiles for the deterministic
+// executor. The paper's environment ran on the Sequent Symmetry, Cray-2,
+// Cray Y-MP, and BBN Butterfly T2000; the profiles here model the
+// characteristics that matter to the coordination runtime — processor
+// count, per-dispatch scheduling overhead, and local versus remote memory
+// access cost (uniform on the bus machines, strongly non-uniform on the
+// Butterfly, §9.3).
+//
+// Virtual time is measured in ticks. Operators charge abstract work units
+// as they compute; the simulated executor converts each unit to TickPerUnit
+// ticks and adds dispatch overhead and memory cost. Only ratios matter for
+// the reproduced figures, so the absolute calibration is arbitrary.
+package machine
+
+import "fmt"
+
+// Profile describes one simulated machine.
+type Profile struct {
+	// Name identifies the machine in experiment output.
+	Name string
+	// Procs is the number of processors available.
+	Procs int
+	// TickPerUnit converts charged work units to ticks.
+	TickPerUnit float64
+	// DispatchTicks is the run-time system's cost to schedule one operator
+	// (the overhead the paper reports as under three percent, §7).
+	DispatchTicks int64
+	// LocalTicksPerWord and RemoteTicksPerWord price an operator's input
+	// blocks by last-touched location. Equal values model a uniform
+	// shared-memory machine.
+	LocalTicksPerWord  float64
+	RemoteTicksPerWord float64
+}
+
+// Uniform reports whether memory access cost ignores placement.
+func (p *Profile) Uniform() bool { return p.LocalTicksPerWord == p.RemoteTicksPerWord }
+
+// String returns a single-line description.
+func (p *Profile) String() string {
+	mem := "UMA"
+	if !p.Uniform() {
+		mem = fmt.Sprintf("NUMA %.1fx", p.RemoteTicksPerWord/p.LocalTicksPerWord)
+	}
+	return fmt.Sprintf("%s: %d procs, dispatch=%d ticks, %s", p.Name, p.Procs, p.DispatchTicks, mem)
+}
+
+// WithProcs returns a copy of the profile with a different processor count,
+// for speedup sweeps.
+func (p *Profile) WithProcs(n int) *Profile {
+	cp := *p
+	cp.Procs = n
+	return &cp
+}
+
+// CrayYMP models the four-processor Cray Y-MP used for the retina model
+// (Figure 1): uniform memory, very low scheduling overhead relative to the
+// vectorized operator bodies.
+func CrayYMP() *Profile {
+	return &Profile{
+		Name:               "Cray Y-MP",
+		Procs:              4,
+		TickPerUnit:        1.0,
+		DispatchTicks:      40,
+		LocalTicksPerWord:  0.02,
+		RemoteTicksPerWord: 0.02,
+	}
+}
+
+// Cray2 models the four-processor Cray-2 on which the retina model was
+// first tuned (§5.1).
+func Cray2() *Profile {
+	return &Profile{
+		Name:               "Cray-2",
+		Procs:              4,
+		TickPerUnit:        1.2,
+		DispatchTicks:      60,
+		LocalTicksPerWord:  0.03,
+		RemoteTicksPerWord: 0.03,
+	}
+}
+
+// Sequent models the Sequent Symmetry bus machine used for the parallel
+// compiler (Table 1): uniform memory, slower processors, relatively higher
+// dispatch cost.
+func Sequent() *Profile {
+	return &Profile{
+		Name:               "Sequent Symmetry",
+		Procs:              8,
+		TickPerUnit:        4.0,
+		DispatchTicks:      120,
+		LocalTicksPerWord:  0.08,
+		RemoteTicksPerWord: 0.08,
+	}
+}
+
+// Butterfly models the BBN Butterfly T2000: many processors behind a
+// network where remote memory access is several times the local cost —
+// the machine for which the affinity extension matters (§9.3).
+func Butterfly() *Profile {
+	return &Profile{
+		Name:               "BBN Butterfly T2000",
+		Procs:              16,
+		TickPerUnit:        3.0,
+		DispatchTicks:      100,
+		LocalTicksPerWord:  0.10,
+		RemoteTicksPerWord: 0.60,
+	}
+}
+
+// Uniprocessor is a single-processor workstation profile (the paper's
+// development machines: Sun, IRIS 4D, HP 300) for sequential baselines.
+func Uniprocessor() *Profile {
+	return &Profile{
+		Name:               "workstation",
+		Procs:              1,
+		TickPerUnit:        1.0,
+		DispatchTicks:      40,
+		LocalTicksPerWord:  0.02,
+		RemoteTicksPerWord: 0.02,
+	}
+}

@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	for _, p := range []*Profile{CrayYMP(), Cray2(), Sequent(), Butterfly(), Uniprocessor()} {
+		if p.Name == "" || p.Procs < 1 {
+			t.Errorf("malformed profile %+v", p)
+		}
+		if p.TickPerUnit <= 0 || p.DispatchTicks <= 0 {
+			t.Errorf("%s: non-positive costs", p.Name)
+		}
+		if p.LocalTicksPerWord <= 0 || p.RemoteTicksPerWord < p.LocalTicksPerWord {
+			t.Errorf("%s: remote access cannot be cheaper than local", p.Name)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	if !CrayYMP().Uniform() || !Sequent().Uniform() || !Cray2().Uniform() {
+		t.Error("bus machines should be UMA")
+	}
+	if Butterfly().Uniform() {
+		t.Error("Butterfly should be NUMA")
+	}
+}
+
+func TestWithProcsCopies(t *testing.T) {
+	base := CrayYMP()
+	mod := base.WithProcs(16)
+	if mod.Procs != 16 || base.Procs != 4 {
+		t.Errorf("WithProcs mutated base: %d / %d", mod.Procs, base.Procs)
+	}
+	if mod.Name != base.Name {
+		t.Error("WithProcs should keep everything else")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := CrayYMP().String(); !strings.Contains(s, "UMA") || !strings.Contains(s, "4 procs") {
+		t.Errorf("Cray description: %q", s)
+	}
+	if s := Butterfly().String(); !strings.Contains(s, "NUMA") {
+		t.Errorf("Butterfly description: %q", s)
+	}
+}
+
+func TestPaperProcessorCounts(t *testing.T) {
+	// The paper's machines: Cray-2 and Cray Y-MP have four processors.
+	if CrayYMP().Procs != 4 || Cray2().Procs != 4 {
+		t.Error("Cray profiles should have 4 processors")
+	}
+	if Uniprocessor().Procs != 1 {
+		t.Error("workstation should have 1 processor")
+	}
+}

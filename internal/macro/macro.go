@@ -1,0 +1,188 @@
+// Package macro implements the Delirium preprocessor: `define NAME expr`
+// introduces a symbolic constant whose uses are replaced by the expression
+// before environment analysis (§5.1: "these symbolic constants are replaced
+// with values by the pre-processor").
+//
+// Expansion respects scoping — a parameter, let binding, or loop variable
+// with the same name shadows the constant — so a definition can never
+// capture a local name. Definitions may refer to earlier definitions;
+// forward references and redefinitions are errors.
+//
+// In the parallel compiler, macro expansion is a top-down update walk
+// (§6.2 strategy 1): the definition table is built sequentially from the
+// program crown, then each function body is expanded independently.
+package macro
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// Table is a fully-expanded set of symbolic constants.
+type Table struct {
+	exprs map[string]ast.Expr
+	order []string
+}
+
+// BuildTable validates the program's defines and expands earlier constants
+// inside later ones, so each table entry is closed.
+func BuildTable(defines []*ast.Define, diags *source.DiagList) *Table {
+	t := &Table{exprs: make(map[string]ast.Expr, len(defines))}
+	for _, d := range defines {
+		if _, dup := t.exprs[d.Name]; dup {
+			diags.Errorf(d.P, "symbolic constant %s redefined", d.Name)
+			continue
+		}
+		// Substitute previously-defined constants so the entry is closed.
+		expanded := t.ExpandExpr(d.Expr, diags)
+		t.exprs[d.Name] = expanded
+		t.order = append(t.order, d.Name)
+	}
+	return t
+}
+
+// Len returns the number of constants in the table.
+func (t *Table) Len() int { return len(t.exprs) }
+
+// Names returns the constant names in definition order.
+func (t *Table) Names() []string { return t.order }
+
+// Lookup returns the expansion of a constant.
+func (t *Table) Lookup(name string) (ast.Expr, bool) {
+	e, ok := t.exprs[name]
+	return e, ok
+}
+
+// ExpandExpr replaces every unshadowed use of a defined constant in e with
+// a clone of its expansion. The input tree is not modified.
+func (t *Table) ExpandExpr(e ast.Expr, diags *source.DiagList) ast.Expr {
+	return t.expand(e, newScope(nil))
+}
+
+// ExpandFunc expands a single function body in place of the old one,
+// returning a new declaration. Parameters shadow constants. This is the
+// per-function unit of work for the parallel macro pass.
+func (t *Table) ExpandFunc(f *ast.FuncDecl, diags *source.DiagList) *ast.FuncDecl {
+	sc := newScope(nil)
+	for _, p := range f.Params {
+		sc.bind(p)
+	}
+	nf := *f
+	nf.Body = t.expand(f.Body, sc)
+	return &nf
+}
+
+// ExpandProgram applies the table to every function, returning a program
+// with an empty define list. Used by the sequential compiler path.
+func ExpandProgram(prog *ast.Program, diags *source.DiagList) *ast.Program {
+	t := BuildTable(prog.Defines, diags)
+	out := &ast.Program{File: prog.File}
+	for _, f := range prog.Funcs {
+		out.Funcs = append(out.Funcs, t.ExpandFunc(f, diags))
+	}
+	return out
+}
+
+// scope is a linked chain of locally-bound name sets.
+type scope struct {
+	parent *scope
+	names  map[string]bool
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: make(map[string]bool)}
+}
+
+func (s *scope) bind(name string) { s.names[name] = true }
+
+func (s *scope) bound(name string) bool {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// expand recursively rewrites e, carrying the set of shadowing local names.
+func (t *Table) expand(e ast.Expr, sc *scope) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.NullLit:
+		return e
+	case *ast.Ident:
+		if sc.bound(x.Name) {
+			return e
+		}
+		if repl, ok := t.exprs[x.Name]; ok {
+			return ast.Clone(repl)
+		}
+		return e
+	case *ast.Call:
+		nc := &ast.Call{P: x.P, Fun: t.expand(x.Fun, sc), Tail: x.Tail}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, t.expand(a, sc))
+		}
+		return nc
+	case *ast.TupleExpr:
+		nt := &ast.TupleExpr{P: x.P}
+		for _, el := range x.Elems {
+			nt.Elems = append(nt.Elems, t.expand(el, sc))
+		}
+		return nt
+	case *ast.Let:
+		// All sibling bindings are in scope throughout the let (letrec), so
+		// bind every name before expanding any initializer.
+		inner := newScope(sc)
+		for _, b := range x.Binds {
+			for _, n := range b.Names {
+				inner.bind(n)
+			}
+		}
+		nl := &ast.Let{P: x.P}
+		for _, b := range x.Binds {
+			nb := &ast.Bind{P: b.P, Kind: b.Kind, Names: b.Names}
+			if b.Fn != nil {
+				fnScope := newScope(inner)
+				for _, p := range b.Fn.Params {
+					fnScope.bind(p)
+				}
+				nf := *b.Fn
+				nf.Body = t.expand(b.Fn.Body, fnScope)
+				nb.Fn = &nf
+			} else {
+				nb.Init = t.expand(b.Init, inner)
+			}
+			nl.Binds = append(nl.Binds, nb)
+		}
+		nl.Body = t.expand(x.Body, inner)
+		return nl
+	case *ast.If:
+		return &ast.If{P: x.P,
+			Cond: t.expand(x.Cond, sc),
+			Then: t.expand(x.Then, sc),
+			Else: t.expand(x.Else, sc)}
+	case *ast.Iterate:
+		// Initializers see the enclosing scope; Next, Cond, and Result see
+		// the loop variables.
+		inner := newScope(sc)
+		for _, iv := range x.Vars {
+			inner.bind(iv.Name)
+		}
+		ni := &ast.Iterate{P: x.P}
+		for _, iv := range x.Vars {
+			ni.Vars = append(ni.Vars, &ast.IterVar{
+				P:    iv.P,
+				Name: iv.Name,
+				Init: t.expand(iv.Init, sc),
+				Next: t.expand(iv.Next, inner),
+			})
+		}
+		ni.Cond = t.expand(x.Cond, inner)
+		ni.Result = t.expand(x.Result, inner)
+		return ni
+	default:
+		return e
+	}
+}

@@ -1,0 +1,257 @@
+package macro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+func expand(t *testing.T, src string) (*ast.Program, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags.Err())
+	}
+	out := ExpandProgram(prog, &diags)
+	return out, &diags
+}
+
+func TestExpandSimpleConstant(t *testing.T) {
+	prog, diags := expand(t, `
+define N 4
+main() incr(N)
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	got := ast.Print(prog.Func("main").Body)
+	if got != "incr(4)" {
+		t.Errorf("expanded body = %q, want incr(4)", got)
+	}
+}
+
+func TestExpandExpressionConstant(t *testing.T) {
+	prog, diags := expand(t, `
+define SIZE mul(ROWS, 8)
+define ROWS 16
+main() SIZE
+`)
+	// ROWS is defined after SIZE: forward reference stays unexpanded inside
+	// SIZE's table entry but direct uses of ROWS would expand. The use of
+	// SIZE expands to mul(ROWS, 8) with ROWS left for env analysis to
+	// reject.
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	got := ast.Print(prog.Func("main").Body)
+	if got != "mul(ROWS, 8)" {
+		t.Errorf("body = %q", got)
+	}
+}
+
+func TestExpandChainedConstants(t *testing.T) {
+	prog, diags := expand(t, `
+define A 2
+define B incr(A)
+main() B
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	got := ast.Print(prog.Func("main").Body)
+	if got != "incr(2)" {
+		t.Errorf("body = %q, want incr(2)", got)
+	}
+}
+
+func TestRedefinitionError(t *testing.T) {
+	_, diags := expand(t, `
+define A 1
+define A 2
+main() A
+`)
+	if !diags.HasErrors() || !strings.Contains(diags.Err().Error(), "redefined") {
+		t.Errorf("expected redefinition error, got %v", diags.Err())
+	}
+}
+
+func TestShadowingByParam(t *testing.T) {
+	prog, diags := expand(t, `
+define N 4
+f(N) incr(N)
+main() f(N)
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	if got := ast.Print(prog.Func("f").Body); got != "incr(N)" {
+		t.Errorf("param must shadow constant: %q", got)
+	}
+	if got := ast.Print(prog.Func("main").Body); got != "f(4)" {
+		t.Errorf("unshadowed use must expand: %q", got)
+	}
+}
+
+func TestShadowingByLetBinding(t *testing.T) {
+	prog, diags := expand(t, `
+define N 4
+main()
+  let N = 9
+  in incr(N)
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	got := ast.Print(prog.Func("main").Body)
+	if strings.Contains(got, "incr(4)") {
+		t.Errorf("let binding must shadow constant:\n%s", got)
+	}
+}
+
+func TestShadowingByIterateVar(t *testing.T) {
+	prog, diags := expand(t, `
+define I 100
+main()
+  iterate { I = I, incr(I) } while lt(I, 3), result I
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	it := prog.Func("main").Body.(*ast.Iterate)
+	// Init sees the enclosing scope, so the constant expands there...
+	if got := ast.Print(it.Vars[0].Init); got != "100" {
+		t.Errorf("Init = %q, want 100", got)
+	}
+	// ...but Next, Cond, and Result see the loop variable.
+	if got := ast.Print(it.Vars[0].Next); got != "incr(I)" {
+		t.Errorf("Next = %q, want incr(I)", got)
+	}
+	if got := ast.Print(it.Cond); got != "lt(I, 3)" {
+		t.Errorf("Cond = %q", got)
+	}
+	if got := ast.Print(it.Result); got != "I" {
+		t.Errorf("Result = %q", got)
+	}
+}
+
+func TestShadowingByNestedFunction(t *testing.T) {
+	prog, diags := expand(t, `
+define X 1
+main()
+  let f(X) incr(X)
+  in f(X)
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	let := prog.Func("main").Body.(*ast.Let)
+	if got := ast.Print(let.Binds[0].Fn.Body); got != "incr(X)" {
+		t.Errorf("nested fn param must shadow: %q", got)
+	}
+	if got := ast.Print(let.Body); got != "f(1)" {
+		t.Errorf("let body use must expand: %q", got)
+	}
+}
+
+func TestLetRecShadowing(t *testing.T) {
+	// A let binding's name shadows the constant even inside a *sibling*
+	// initializer (letrec scoping).
+	prog, diags := expand(t, `
+define A 5
+main()
+  let A = 1
+      b = incr(A)
+  in b
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	let := prog.Func("main").Body.(*ast.Let)
+	if got := ast.Print(let.Binds[1].Init); got != "incr(A)" {
+		t.Errorf("sibling init should see shadowed A: %q", got)
+	}
+}
+
+func TestExpandInsideConditionalAndTuple(t *testing.T) {
+	prog, diags := expand(t, `
+define K 7
+main()
+  if is_equal(K, 7) then <K, K> else NULL
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	got := ast.Print(prog.Func("main").Body)
+	if !strings.Contains(got, "is_equal(7, 7)") || !strings.Contains(got, "<7, 7>") {
+		t.Errorf("expansion incomplete:\n%s", got)
+	}
+}
+
+func TestExpansionClonesNotShares(t *testing.T) {
+	prog, diags := expand(t, `
+define C mul(2, 3)
+main() add(C, C)
+`)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	call := prog.Func("main").Body.(*ast.Call)
+	if call.Args[0] == call.Args[1] {
+		t.Error("each expansion must be a fresh clone")
+	}
+}
+
+func TestTableAPI(t *testing.T) {
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", "define A 1\ndefine B 2\nmain() A", &diags)
+	table := BuildTable(prog.Defines, &diags)
+	if table.Len() != 2 {
+		t.Fatalf("Len = %d", table.Len())
+	}
+	if names := table.Names(); names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, ok := table.Lookup("A"); !ok {
+		t.Error("Lookup(A) failed")
+	}
+	if _, ok := table.Lookup("Z"); ok {
+		t.Error("Lookup(Z) should fail")
+	}
+}
+
+func TestExpandFuncMatchesExpandProgram(t *testing.T) {
+	src := `
+define N 3
+f(x) add(x, N)
+g() f(N)
+`
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	table := BuildTable(prog.Defines, &diags)
+	whole := ExpandProgram(prog, &diags)
+	for i, f := range prog.Funcs {
+		single := table.ExpandFunc(f, &diags)
+		if got, want := ast.Print(single.Body), ast.Print(whole.Funcs[i].Body); got != want {
+			t.Errorf("ExpandFunc(%s) = %q, ExpandProgram gives %q", f.Name, got, want)
+		}
+	}
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+}
+
+func TestOriginalTreeUntouched(t *testing.T) {
+	src := "define N 4\nmain() incr(N)"
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	before := ast.Print(prog.Func("main").Body)
+	ExpandProgram(prog, &diags)
+	after := ast.Print(prog.Func("main").Body)
+	if before != after {
+		t.Errorf("expansion mutated input: %q -> %q", before, after)
+	}
+}

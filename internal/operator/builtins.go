@@ -1,0 +1,422 @@
+package operator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Builtins returns a fresh registry preloaded with the standard operator
+// library: arithmetic, comparison, logic, tuple manipulation, and the
+// merge operator the paper's examples rely on. Applications chain their own
+// registries to it with NewRegistry(Builtins()).
+func Builtins() *Registry {
+	r := NewRegistry(nil)
+	registerArith(r)
+	registerCompare(r)
+	registerLogic(r)
+	registerTuple(r)
+	registerMisc(r)
+	registerMath(r)
+	return r
+}
+
+// numericPair coerces two atomic numeric values for a binary operation.
+// When both are Int the integer path is used; otherwise both are widened to
+// float.
+func numericPair(name string, a, b value.Value) (ai, bi int64, af, bf float64, isInt bool, err error) {
+	switch x := a.(type) {
+	case value.Int:
+		switch y := b.(type) {
+		case value.Int:
+			return int64(x), int64(y), 0, 0, true, nil
+		case value.Float:
+			return 0, 0, float64(x), float64(y), false, nil
+		}
+	case value.Float:
+		switch y := b.(type) {
+		case value.Int:
+			return 0, 0, float64(x), float64(y), false, nil
+		case value.Float:
+			return 0, 0, float64(x), float64(y), false, nil
+		}
+	}
+	return 0, 0, 0, 0, false, fmt.Errorf("%s: numeric arguments required, got %s and %s", name, a.Kind(), b.Kind())
+}
+
+// binArith registers a pure binary arithmetic operator.
+func binArith(r *Registry, name string, intFn func(a, b int64) (int64, error), fltFn func(a, b float64) (float64, error)) {
+	r.MustRegister(&Operator{
+		Name: name, Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			ai, bi, af, bf, isInt, err := numericPair(name, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			if isInt {
+				n, err := intFn(ai, bi)
+				if err != nil {
+					return nil, err
+				}
+				return value.Int(n), nil
+			}
+			f, err := fltFn(af, bf)
+			if err != nil {
+				return nil, err
+			}
+			return value.Float(f), nil
+		},
+	})
+}
+
+func registerArith(r *Registry) {
+	binArith(r, "add",
+		func(a, b int64) (int64, error) { return a + b, nil },
+		func(a, b float64) (float64, error) { return a + b, nil })
+	binArith(r, "sub",
+		func(a, b int64) (int64, error) { return a - b, nil },
+		func(a, b float64) (float64, error) { return a - b, nil })
+	binArith(r, "mul",
+		func(a, b int64) (int64, error) { return a * b, nil },
+		func(a, b float64) (float64, error) { return a * b, nil })
+	binArith(r, "div",
+		func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("div: division by zero")
+			}
+			return a / b, nil
+		},
+		func(a, b float64) (float64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("div: division by zero")
+			}
+			return a / b, nil
+		})
+	binArith(r, "mod",
+		func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("mod: division by zero")
+			}
+			return a % b, nil
+		},
+		func(a, b float64) (float64, error) {
+			return 0, fmt.Errorf("mod: integer arguments required")
+		})
+	binArith(r, "min",
+		func(a, b int64) (int64, error) {
+			if a < b {
+				return a, nil
+			}
+			return b, nil
+		},
+		func(a, b float64) (float64, error) {
+			if a < b {
+				return a, nil
+			}
+			return b, nil
+		})
+	binArith(r, "max",
+		func(a, b int64) (int64, error) {
+			if a > b {
+				return a, nil
+			}
+			return b, nil
+		},
+		func(a, b float64) (float64, error) {
+			if a > b {
+				return a, nil
+			}
+			return b, nil
+		})
+
+	r.MustRegister(&Operator{
+		Name: "incr", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			switch x := args[0].(type) {
+			case value.Int:
+				return x + 1, nil
+			case value.Float:
+				return x + 1, nil
+			}
+			return nil, fmt.Errorf("incr: numeric argument required, got %s", args[0].Kind())
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "decr", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			switch x := args[0].(type) {
+			case value.Int:
+				return x - 1, nil
+			case value.Float:
+				return x - 1, nil
+			}
+			return nil, fmt.Errorf("decr: numeric argument required, got %s", args[0].Kind())
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "neg", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			switch x := args[0].(type) {
+			case value.Int:
+				return -x, nil
+			case value.Float:
+				return -x, nil
+			}
+			return nil, fmt.Errorf("neg: numeric argument required, got %s", args[0].Kind())
+		},
+	})
+}
+
+// binCompare registers a pure binary comparison producing Bool.
+func binCompare(r *Registry, name string, cmp func(sign int) bool) {
+	r.MustRegister(&Operator{
+		Name: name, Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			ai, bi, af, bf, isInt, err := numericPair(name, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			var sign int
+			if isInt {
+				switch {
+				case ai < bi:
+					sign = -1
+				case ai > bi:
+					sign = 1
+				}
+			} else {
+				switch {
+				case af < bf:
+					sign = -1
+				case af > bf:
+					sign = 1
+				}
+			}
+			return value.Bool(cmp(sign)), nil
+		},
+	})
+}
+
+func registerCompare(r *Registry) {
+	binCompare(r, "lt", func(s int) bool { return s < 0 })
+	binCompare(r, "le", func(s int) bool { return s <= 0 })
+	binCompare(r, "gt", func(s int) bool { return s > 0 })
+	binCompare(r, "ge", func(s int) bool { return s >= 0 })
+
+	r.MustRegister(&Operator{
+		Name: "is_equal", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			return value.Bool(value.Equal(args[0], args[1])), nil
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "is_not_equal", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			return value.Bool(!value.Equal(args[0], args[1])), nil
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "is_null", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			_, isNull := args[0].(value.Null)
+			return value.Bool(isNull), nil
+		},
+	})
+}
+
+func registerLogic(r *Registry) {
+	truthy := func(name string, v value.Value) (bool, error) {
+		b, err := value.Truthy(v)
+		if err != nil {
+			return false, fmt.Errorf("%s: %v", name, err)
+		}
+		return b, nil
+	}
+	r.MustRegister(&Operator{
+		Name: "not", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			b, err := truthy("not", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return value.Bool(!b), nil
+		},
+	})
+	// Delirium is a dataflow language: both arguments of and/or are computed
+	// before the operator fires, so these are strict (non-short-circuit).
+	r.MustRegister(&Operator{
+		Name: "and", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			a, err := truthy("and", args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy("and", args[1])
+			if err != nil {
+				return nil, err
+			}
+			return value.Bool(a && b), nil
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "or", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			a, err := truthy("or", args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := truthy("or", args[1])
+			if err != nil {
+				return nil, err
+			}
+			return value.Bool(a || b), nil
+		},
+	})
+}
+
+func registerTuple(r *Registry) {
+	r.MustRegister(&Operator{
+		Name: "tuple_len", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			t, ok := args[0].(value.Tuple)
+			if !ok {
+				return nil, fmt.Errorf("tuple_len: tuple argument required, got %s", args[0].Kind())
+			}
+			return value.Int(len(t)), nil
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "tuple_get", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			t, ok := args[0].(value.Tuple)
+			if !ok {
+				return nil, fmt.Errorf("tuple_get: tuple argument required, got %s", args[0].Kind())
+			}
+			i, ok := args[1].(value.Int)
+			if !ok {
+				return nil, fmt.Errorf("tuple_get: integer index required, got %s", args[1].Kind())
+			}
+			if i < 1 || int(i) > len(t) {
+				return nil, fmt.Errorf("tuple_get: index %d out of range 1..%d", i, len(t))
+			}
+			return t[i-1], nil
+		},
+	})
+	// tuple_concat concatenates multiple-value packages without flattening
+	// their elements (unlike merge, which recurses and drops NULLs). It is
+	// the combining primitive of the prelude's dynamic-width coordination
+	// structures.
+	r.MustRegister(&Operator{
+		Name: "tuple_concat", Arity: Variadic, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			var out value.Tuple
+			for i, a := range args {
+				t, ok := a.(value.Tuple)
+				if !ok {
+					return nil, fmt.Errorf("tuple_concat: argument %d is %s, want tuple", i+1, a.Kind())
+				}
+				out = append(out, t...)
+			}
+			ctx.Charge(int64(len(out) + 1))
+			return out, nil
+		},
+	})
+	// merge flattens its arguments into one multiple-value package, dropping
+	// NULLs. It is the combining operator of the eight queens example: each
+	// branch contributes a solution, a package of solutions, or NULL.
+	r.MustRegister(&Operator{
+		Name: "merge", Arity: Variadic, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			var out value.Tuple
+			var flatten func(v value.Value)
+			flatten = func(v value.Value) {
+				switch x := v.(type) {
+				case value.Null:
+				case value.Tuple:
+					for _, e := range x {
+						flatten(e)
+					}
+				default:
+					out = append(out, v)
+				}
+			}
+			for _, a := range args {
+				flatten(a)
+			}
+			ctx.Charge(int64(len(args) + len(out)))
+			return out, nil
+		},
+	})
+}
+
+func registerMisc(r *Registry) {
+	r.MustRegister(&Operator{
+		Name: "strcat", Arity: Variadic, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			var b strings.Builder
+			for _, a := range args {
+				if s, ok := a.(value.Str); ok {
+					b.WriteString(string(s))
+					continue
+				}
+				b.WriteString(a.String())
+			}
+			ctx.Charge(int64(b.Len() + 1))
+			return value.Str(b.String()), nil
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "int", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			switch x := args[0].(type) {
+			case value.Int:
+				return x, nil
+			case value.Float:
+				return value.Int(int64(x)), nil
+			case value.Bool:
+				if x {
+					return value.Int(1), nil
+				}
+				return value.Int(0), nil
+			}
+			return nil, fmt.Errorf("int: cannot convert %s", args[0].Kind())
+		},
+	})
+	r.MustRegister(&Operator{
+		Name: "float", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			switch x := args[0].(type) {
+			case value.Int:
+				return value.Float(float64(x)), nil
+			case value.Float:
+				return x, nil
+			}
+			return nil, fmt.Errorf("float: cannot convert %s", args[0].Kind())
+		},
+	})
+	// id passes its argument through; useful as a synchronization point and
+	// in tests of fan-out reference counting.
+	r.MustRegister(&Operator{
+		Name: "id", Arity: 1, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			return args[0], nil
+		},
+	})
+}

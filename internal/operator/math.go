@@ -1,0 +1,75 @@
+package operator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// registerMath adds floating-point math operators backed by the Go math
+// package — the scientific sub-computations of §2 lean on exactly this
+// kind of library function.
+func registerMath(r *Registry) {
+	unary := func(name string, fn func(float64) float64, domain func(float64) error) {
+		r.MustRegister(&Operator{
+			Name: name, Arity: 1, Pure: true,
+			Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+				ctx.Charge(4)
+				var x float64
+				switch v := args[0].(type) {
+				case value.Int:
+					x = float64(v)
+				case value.Float:
+					x = float64(v)
+				default:
+					return nil, fmt.Errorf("%s: numeric argument required, got %s", name, args[0].Kind())
+				}
+				if domain != nil {
+					if err := domain(x); err != nil {
+						return nil, err
+					}
+				}
+				return value.Float(fn(x)), nil
+			},
+		})
+	}
+	unary("sqrt", math.Sqrt, func(x float64) error {
+		if x < 0 {
+			return fmt.Errorf("sqrt: negative argument %g", x)
+		}
+		return nil
+	})
+	unary("exp", math.Exp, nil)
+	unary("log", math.Log, func(x float64) error {
+		if x <= 0 {
+			return fmt.Errorf("log: non-positive argument %g", x)
+		}
+		return nil
+	})
+	unary("sin", math.Sin, nil)
+	unary("cos", math.Cos, nil)
+	unary("floor", math.Floor, nil)
+	unary("ceil", math.Ceil, nil)
+	unary("abs", math.Abs, nil)
+
+	r.MustRegister(&Operator{
+		Name: "pow", Arity: 2, Pure: true,
+		Fn: func(ctx Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(8)
+			_, _, af, bf, isInt, err := numericPair("pow", args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			if isInt {
+				ai, bi := args[0].(value.Int), args[1].(value.Int)
+				af, bf = float64(ai), float64(bi)
+			}
+			res := math.Pow(af, bf)
+			if math.IsNaN(res) {
+				return nil, fmt.Errorf("pow: domain error for (%g, %g)", af, bf)
+			}
+			return value.Float(res), nil
+		},
+	})
+}

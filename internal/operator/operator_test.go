@@ -1,0 +1,369 @@
+package operator
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func callOp(t *testing.T, r *Registry, name string, args ...value.Value) value.Value {
+	t.Helper()
+	op, ok := r.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %q not registered", name)
+	}
+	v, err := op.Fn(NopContext, args)
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return v
+}
+
+func callErr(t *testing.T, r *Registry, name string, args ...value.Value) error {
+	t.Helper()
+	op, ok := r.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %q not registered", name)
+	}
+	_, err := op.Fn(NopContext, args)
+	if err == nil {
+		t.Fatalf("%s(%v): expected error", name, args)
+	}
+	return err
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry(nil)
+	op := &Operator{Name: "f", Arity: 1, Fn: func(Context, []value.Value) (value.Value, error) { return value.Int(1), nil }}
+	if err := r.Register(op); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("f")
+	if !ok || got != op {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("g"); ok {
+		t.Fatal("lookup of unregistered name succeeded")
+	}
+}
+
+func TestRegistryChaining(t *testing.T) {
+	parent := Builtins()
+	child := NewRegistry(parent)
+	child.MustRegister(&Operator{Name: "app_op", Arity: 0,
+		Fn: func(Context, []value.Value) (value.Value, error) { return value.Int(7), nil }})
+	if _, ok := child.Lookup("incr"); !ok {
+		t.Error("child should see parent's incr")
+	}
+	if _, ok := child.Lookup("app_op"); !ok {
+		t.Error("child should see its own op")
+	}
+	if _, ok := parent.Lookup("app_op"); ok {
+		t.Error("parent must not see child's op")
+	}
+	names := child.Names()
+	if len(names) < 20 {
+		t.Errorf("Names() = %d entries, want all builtins too", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry(nil)
+	fn := func(Context, []value.Value) (value.Value, error) { return value.Int(0), nil }
+	cases := []struct {
+		op   *Operator
+		want string
+	}{
+		{nil, "nil or unnamed"},
+		{&Operator{Name: "", Fn: fn}, "nil or unnamed"},
+		{&Operator{Name: "x", Arity: 1}, "nil implementation"},
+		{&Operator{Name: "x", Arity: -5, Fn: fn}, "invalid arity"},
+		{&Operator{Name: "x", Arity: 2, Destructive: []bool{true}, Fn: fn}, "destructive annotations"},
+		{&Operator{Name: "x", Arity: Variadic, Destructive: []bool{true, false}, Fn: fn}, "single destructive"},
+	}
+	for _, c := range cases {
+		err := r.Register(c.op)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Register(%+v) = %v, want mention of %q", c.op, err, c.want)
+		}
+	}
+	r.MustRegister(&Operator{Name: "dup", Arity: 0, Fn: fn})
+	if err := r.Register(&Operator{Name: "dup", Arity: 0, Fn: fn}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestMayModify(t *testing.T) {
+	op := &Operator{Name: "w", Arity: 2, Destructive: []bool{true, false}}
+	if !op.MayModify(0) || op.MayModify(1) || op.MayModify(5) {
+		t.Error("fixed-arity MayModify wrong")
+	}
+	v := &Operator{Name: "v", Arity: Variadic, Destructive: []bool{true}}
+	if !v.MayModify(0) || !v.MayModify(3) {
+		t.Error("variadic MayModify should apply annotation to all args")
+	}
+	clean := &Operator{Name: "c", Arity: 2}
+	if clean.MayModify(0) {
+		t.Error("unannotated operator must not claim write access")
+	}
+}
+
+func TestArithBuiltins(t *testing.T) {
+	r := Builtins()
+	cases := []struct {
+		op   string
+		args []value.Value
+		want value.Value
+	}{
+		{"add", []value.Value{value.Int(2), value.Int(3)}, value.Int(5)},
+		{"add", []value.Value{value.Int(2), value.Float(0.5)}, value.Float(2.5)},
+		{"sub", []value.Value{value.Int(2), value.Int(3)}, value.Int(-1)},
+		{"mul", []value.Value{value.Float(2), value.Float(3)}, value.Float(6)},
+		{"div", []value.Value{value.Int(7), value.Int(2)}, value.Int(3)},
+		{"div", []value.Value{value.Float(7), value.Int(2)}, value.Float(3.5)},
+		{"mod", []value.Value{value.Int(7), value.Int(3)}, value.Int(1)},
+		{"min", []value.Value{value.Int(7), value.Int(3)}, value.Int(3)},
+		{"max", []value.Value{value.Int(7), value.Int(3)}, value.Int(7)},
+		{"incr", []value.Value{value.Int(7)}, value.Int(8)},
+		{"decr", []value.Value{value.Float(7)}, value.Float(6)},
+		{"neg", []value.Value{value.Int(7)}, value.Int(-7)},
+	}
+	for _, c := range cases {
+		if got := callOp(t, r, c.op, c.args...); !value.Equal(got, c.want) {
+			t.Errorf("%s(%v) = %v, want %v", c.op, c.args, got, c.want)
+		}
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	r := Builtins()
+	callErr(t, r, "div", value.Int(1), value.Int(0))
+	callErr(t, r, "div", value.Float(1), value.Float(0))
+	callErr(t, r, "mod", value.Int(1), value.Int(0))
+	callErr(t, r, "mod", value.Float(1), value.Float(2))
+	callErr(t, r, "add", value.Str("x"), value.Int(1))
+	callErr(t, r, "incr", value.Str("x"))
+	callErr(t, r, "neg", value.Tuple{})
+}
+
+func TestCompareBuiltins(t *testing.T) {
+	r := Builtins()
+	cases := []struct {
+		op   string
+		a, b value.Value
+		want bool
+	}{
+		{"lt", value.Int(1), value.Int(2), true},
+		{"lt", value.Int(2), value.Int(2), false},
+		{"le", value.Int(2), value.Int(2), true},
+		{"gt", value.Float(3), value.Int(2), true},
+		{"ge", value.Int(1), value.Int(2), false},
+		{"is_equal", value.Int(8), value.Int(8), true},
+		{"is_equal", value.Str("a"), value.Str("b"), false},
+		{"is_not_equal", value.Int(1), value.Int(2), true},
+	}
+	for _, c := range cases {
+		if got := callOp(t, r, c.op, c.a, c.b); got != value.Bool(c.want) {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	r := Builtins()
+	if got := callOp(t, r, "is_null", value.Null{}); got != value.Bool(true) {
+		t.Errorf("is_null(NULL) = %v", got)
+	}
+	if got := callOp(t, r, "is_null", value.Int(0)); got != value.Bool(false) {
+		t.Errorf("is_null(0) = %v", got)
+	}
+}
+
+func TestLogicBuiltins(t *testing.T) {
+	r := Builtins()
+	if got := callOp(t, r, "not", value.Bool(true)); got != value.Bool(false) {
+		t.Errorf("not(true) = %v", got)
+	}
+	if got := callOp(t, r, "and", value.Bool(true), value.Int(1)); got != value.Bool(true) {
+		t.Errorf("and = %v", got)
+	}
+	if got := callOp(t, r, "or", value.Bool(false), value.Null{}); got != value.Bool(false) {
+		t.Errorf("or = %v", got)
+	}
+	callErr(t, r, "and", value.Str("x"), value.Bool(true))
+	callErr(t, r, "or", value.Bool(true), value.Str("x"))
+	callErr(t, r, "not", value.Float(1))
+}
+
+func TestMergeFlattensAndDropsNulls(t *testing.T) {
+	r := Builtins()
+	b := value.NewBlock(value.FloatVec{1})
+	got := callOp(t, r, "merge",
+		value.Null{},
+		value.Int(1),
+		value.Tuple{value.Int(2), value.Null{}, value.Tuple{value.Int(3)}},
+		b,
+	)
+	tup, ok := got.(value.Tuple)
+	if !ok || len(tup) != 4 {
+		t.Fatalf("merge = %v, want 4-tuple", got)
+	}
+	if tup[0] != value.Int(1) || tup[1] != value.Int(2) || tup[2] != value.Int(3) || tup[3] != value.Value(b) {
+		t.Errorf("merge order wrong: %v", tup)
+	}
+	empty := callOp(t, r, "merge", value.Null{}, value.Null{})
+	if et, ok := empty.(value.Tuple); !ok || len(et) != 0 {
+		t.Errorf("merge of NULLs = %v, want empty tuple", empty)
+	}
+}
+
+func TestTupleBuiltins(t *testing.T) {
+	r := Builtins()
+	tup := value.Tuple{value.Int(10), value.Int(20)}
+	if got := callOp(t, r, "tuple_len", tup); got != value.Int(2) {
+		t.Errorf("tuple_len = %v", got)
+	}
+	if got := callOp(t, r, "tuple_get", tup, value.Int(1)); got != value.Int(10) {
+		t.Errorf("tuple_get(t,1) = %v (indices are 1-based)", got)
+	}
+	if got := callOp(t, r, "tuple_get", tup, value.Int(2)); got != value.Int(20) {
+		t.Errorf("tuple_get(t,2) = %v", got)
+	}
+	callErr(t, r, "tuple_get", tup, value.Int(0))
+	callErr(t, r, "tuple_get", tup, value.Int(3))
+	callErr(t, r, "tuple_get", value.Int(1), value.Int(1))
+	callErr(t, r, "tuple_len", value.Int(1))
+}
+
+func TestMiscBuiltins(t *testing.T) {
+	r := Builtins()
+	if got := callOp(t, r, "strcat", value.Str("a"), value.Str("b"), value.Int(3)); got != value.Str("ab3") {
+		t.Errorf("strcat = %v", got)
+	}
+	if got := callOp(t, r, "int", value.Float(3.7)); got != value.Int(3) {
+		t.Errorf("int(3.7) = %v", got)
+	}
+	if got := callOp(t, r, "int", value.Bool(true)); got != value.Int(1) {
+		t.Errorf("int(true) = %v", got)
+	}
+	if got := callOp(t, r, "float", value.Int(3)); got != value.Float(3) {
+		t.Errorf("float(3) = %v", got)
+	}
+	if got := callOp(t, r, "id", value.Str("x")); got != value.Str("x") {
+		t.Errorf("id = %v", got)
+	}
+	callErr(t, r, "int", value.Str("x"))
+	callErr(t, r, "float", value.Null{})
+}
+
+func TestFold(t *testing.T) {
+	r := Builtins()
+	add, _ := r.Lookup("add")
+	v, ok := Fold(add, []value.Value{value.Int(2), value.Int(3)})
+	if !ok || v != value.Int(5) {
+		t.Errorf("Fold add = %v, %v", v, ok)
+	}
+	// Folding must decline on runtime errors rather than report them early.
+	div, _ := r.Lookup("div")
+	if _, ok := Fold(div, []value.Value{value.Int(1), value.Int(0)}); ok {
+		t.Error("Fold must decline on division by zero")
+	}
+	// Arity mismatch declines.
+	if _, ok := Fold(add, []value.Value{value.Int(1)}); ok {
+		t.Error("Fold must decline on arity mismatch")
+	}
+	// Impure operators decline.
+	impure := &Operator{Name: "imp", Arity: 0, Pure: false,
+		Fn: func(Context, []value.Value) (value.Value, error) { return value.Int(1), nil }}
+	if _, ok := Fold(impure, nil); ok {
+		t.Error("Fold must decline on impure operator")
+	}
+	if _, ok := Fold(nil, nil); ok {
+		t.Error("Fold(nil) must decline")
+	}
+}
+
+func TestFoldMatchesRuntimeProperty(t *testing.T) {
+	// Property: for pure int arithmetic, folding equals running.
+	r := Builtins()
+	ops := []string{"add", "sub", "mul", "min", "max"}
+	f := func(a, b int32, opIdx uint8) bool {
+		op, _ := r.Lookup(ops[int(opIdx)%len(ops)])
+		args := []value.Value{value.Int(a), value.Int(b)}
+		folded, ok := Fold(op, args)
+		if !ok {
+			return false
+		}
+		run, err := op.Fn(NopContext, args)
+		return err == nil && value.Equal(folded, run)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcceptsArgs(t *testing.T) {
+	fixed := &Operator{Name: "f", Arity: 2}
+	if !fixed.AcceptsArgs(2) || fixed.AcceptsArgs(1) {
+		t.Error("fixed arity check wrong")
+	}
+	v := &Operator{Name: "v", Arity: Variadic}
+	if !v.AcceptsArgs(0) || !v.AcceptsArgs(10) {
+		t.Error("variadic arity check wrong")
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	r := Builtins()
+	cases := []struct {
+		op   string
+		args []value.Value
+		want float64
+	}{
+		{"sqrt", []value.Value{value.Float(9)}, 3},
+		{"sqrt", []value.Value{value.Int(16)}, 4},
+		{"exp", []value.Value{value.Int(0)}, 1},
+		{"log", []value.Value{value.Float(1)}, 0},
+		{"floor", []value.Value{value.Float(2.7)}, 2},
+		{"ceil", []value.Value{value.Float(2.1)}, 3},
+		{"abs", []value.Value{value.Float(-3.5)}, 3.5},
+		{"pow", []value.Value{value.Int(2), value.Int(10)}, 1024},
+		{"sin", []value.Value{value.Int(0)}, 0},
+		{"cos", []value.Value{value.Int(0)}, 1},
+	}
+	for _, c := range cases {
+		got := callOp(t, r, c.op, c.args...)
+		f, ok := got.(value.Float)
+		if !ok || float64(f) != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.op, c.args, got, c.want)
+		}
+	}
+}
+
+func TestMathBuiltinDomainErrors(t *testing.T) {
+	r := Builtins()
+	callErr(t, r, "sqrt", value.Float(-1))
+	callErr(t, r, "log", value.Int(0))
+	callErr(t, r, "pow", value.Float(-1), value.Float(0.5))
+	callErr(t, r, "sqrt", value.Str("x"))
+	callErr(t, r, "pow", value.Str("x"), value.Int(2))
+}
+
+func TestMathFoldable(t *testing.T) {
+	op, _ := Builtins().Lookup("sqrt")
+	v, ok := Fold(op, []value.Value{value.Float(25)})
+	if !ok || v != value.Float(5) {
+		t.Errorf("Fold sqrt = %v, %v", v, ok)
+	}
+	// Domain errors decline folding and surface at run time instead.
+	if _, ok := Fold(op, []value.Value{value.Float(-1)}); ok {
+		t.Error("Fold must decline sqrt(-1)")
+	}
+}

@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// cseExpr eliminates duplicate pure sub-expressions within each
+// unconditional evaluation region.
+//
+// In the coordination-graph model every binding of a let evaluates eagerly,
+// while the arms of a conditional, the stages of an iterate, and nested
+// function bodies are deferred subgraphs. A pure expression may therefore
+// be computed once and shared exactly when its duplicate occurrences lie in
+// the same region: the set of expressions reachable from one let without
+// crossing an If arm, an Iterate, or a function boundary. Hoisting across
+// those boundaries could execute work (or raise a run-time error such as
+// division by zero) that the original program avoided.
+func cseExpr(info *sema.Info, e ast.Expr, fname string, round int, st *Stats) ast.Expr {
+	c := &cser{info: info, fname: fname, round: round, st: st}
+	return c.rewrite(e)
+}
+
+type cser struct {
+	info   *sema.Info
+	fname  string
+	round  int
+	st     *Stats
+	nextID int
+}
+
+// rewrite walks the tree top-down so outer regions are processed before the
+// deferred subtrees they contain.
+func (c *cser) rewrite(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil, *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.NullLit, *ast.Ident:
+		return e
+	case *ast.Call:
+		nc := &ast.Call{P: x.P, Fun: c.rewrite(x.Fun), Tail: x.Tail}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, c.rewrite(a))
+		}
+		return nc
+	case *ast.TupleExpr:
+		nt := &ast.TupleExpr{P: x.P}
+		for _, el := range x.Elems {
+			nt.Elems = append(nt.Elems, c.rewrite(el))
+		}
+		return nt
+	case *ast.If:
+		return &ast.If{P: x.P, Cond: c.rewrite(x.Cond), Then: c.rewrite(x.Then), Else: c.rewrite(x.Else)}
+	case *ast.Iterate:
+		ni := &ast.Iterate{P: x.P}
+		for _, iv := range x.Vars {
+			ni.Vars = append(ni.Vars, &ast.IterVar{P: iv.P, Name: iv.Name, Init: c.rewrite(iv.Init), Next: c.rewrite(iv.Next)})
+		}
+		ni.Cond = c.rewrite(x.Cond)
+		ni.Result = c.rewrite(x.Result)
+		return ni
+	case *ast.Let:
+		let := c.cseLet(x)
+		nl := &ast.Let{P: let.P}
+		for _, b := range let.Binds {
+			if b.Kind == ast.BindFunc {
+				nl.Binds = append(nl.Binds, b)
+				continue
+			}
+			nl.Binds = append(nl.Binds, &ast.Bind{P: b.P, Kind: b.Kind, Names: b.Names,
+				Init: c.rewrite(b.Init)})
+		}
+		nl.Body = c.rewrite(let.Body)
+		return nl
+	default:
+		return e
+	}
+}
+
+// cseLet finds duplicated pure calls in the region rooted at this let and
+// binds each to a fresh name.
+func (c *cser) cseLet(let *ast.Let) *ast.Let {
+	counts := make(map[string]int)
+	c.countRegion(let, counts)
+
+	shared := make(map[string]string) // printed form -> fresh binder
+	var extra []*ast.Bind
+	replace := func(e ast.Expr) (ast.Expr, bool) {
+		call, ok := e.(*ast.Call)
+		if !ok || !c.pureCall(call) {
+			return e, false
+		}
+		key := ast.Print(call)
+		if counts[key] < 2 {
+			return e, false
+		}
+		name, ok := shared[key]
+		if !ok {
+			c.nextID++
+			name = fmt.Sprintf("cse$%s$%d$%d", c.fname, c.round, c.nextID)
+			shared[key] = name
+			extra = append(extra, &ast.Bind{P: call.P, Kind: ast.BindValue,
+				Names: []string{name}, Init: ast.Clone(call)})
+		} else {
+			atomic.AddInt64(&c.st.CSE, 1)
+		}
+		return &ast.Ident{P: call.P, Name: name, Ref: ast.RefLet}, true
+	}
+
+	out := &ast.Let{P: let.P, Binds: make([]*ast.Bind, 0, len(let.Binds))}
+	for _, b := range let.Binds {
+		if b.Kind == ast.BindFunc {
+			out.Binds = append(out.Binds, b)
+			continue
+		}
+		out.Binds = append(out.Binds, &ast.Bind{P: b.P, Kind: b.Kind, Names: b.Names,
+			Init: c.replaceRegion(b.Init, replace)})
+	}
+	out.Body = c.replaceRegion(let.Body, replace)
+	out.Binds = append(out.Binds, extra...)
+	return out
+}
+
+// pureCall reports whether the call invokes a pure operator and every
+// argument is itself region-safe (literal, identifier, or pure call).
+func (c *cser) pureCall(call *ast.Call) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Ref != ast.RefOperator {
+		return false
+	}
+	op, ok := c.info.Registry.Lookup(id.Name)
+	if !ok || !op.Pure {
+		return false
+	}
+	for _, a := range call.Args {
+		switch x := a.(type) {
+		case *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.NullLit, *ast.Ident:
+		case *ast.Call:
+			if !c.pureCall(x) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// countRegion tallies printed forms of pure calls in the let's region.
+func (c *cser) countRegion(let *ast.Let, counts map[string]int) {
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Call:
+			if c.pureCall(x) {
+				counts[ast.Print(x)]++
+			}
+			visit(x.Fun)
+			for _, a := range x.Args {
+				visit(a)
+			}
+		case *ast.TupleExpr:
+			for _, el := range x.Elems {
+				visit(el)
+			}
+		case *ast.If:
+			visit(x.Cond) // the test evaluates eagerly; the arms do not
+		case *ast.Iterate:
+			for _, iv := range x.Vars {
+				visit(iv.Init) // initializers evaluate eagerly
+			}
+		case *ast.Let:
+			// A nested let introduces scope; stop to keep hoisting simple.
+		}
+	}
+	for _, b := range let.Binds {
+		if b.Kind != ast.BindFunc {
+			visit(b.Init)
+		}
+	}
+	visit(let.Body)
+}
+
+// replaceRegion applies replace to every region expression, recursing with
+// the same boundaries as countRegion.
+func (c *cser) replaceRegion(e ast.Expr, replace func(ast.Expr) (ast.Expr, bool)) ast.Expr {
+	switch x := e.(type) {
+	case nil, *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.NullLit, *ast.Ident:
+		return e
+	case *ast.Call:
+		if r, done := replace(x); done {
+			return r
+		}
+		nc := &ast.Call{P: x.P, Fun: x.Fun, Tail: x.Tail}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, c.replaceRegion(a, replace))
+		}
+		return nc
+	case *ast.TupleExpr:
+		nt := &ast.TupleExpr{P: x.P}
+		for _, el := range x.Elems {
+			nt.Elems = append(nt.Elems, c.replaceRegion(el, replace))
+		}
+		return nt
+	case *ast.If:
+		return &ast.If{P: x.P, Cond: c.replaceRegion(x.Cond, replace), Then: x.Then, Else: x.Else}
+	case *ast.Iterate:
+		ni := &ast.Iterate{P: x.P, Cond: x.Cond, Result: x.Result}
+		for _, iv := range x.Vars {
+			ni.Vars = append(ni.Vars, &ast.IterVar{P: iv.P, Name: iv.Name,
+				Init: c.replaceRegion(iv.Init, replace), Next: iv.Next})
+		}
+		return ni
+	default:
+		return e
+	}
+}

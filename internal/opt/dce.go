@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// dce removes let bindings whose names are never used, provided the
+// initializer is side-effect free (literals, identifiers, multiple-value
+// constructors, and calls to pure operators). A let left with no bindings
+// collapses to its body. Bindings whose initializer calls an application
+// operator are kept even when unused: the paper gives no purity annotation
+// for operators beyond the destructive flags, so an unused impure call
+// still executes.
+func dce(info *sema.Info, e ast.Expr, st *Stats) ast.Expr {
+	return ast.Rewrite(e, func(e ast.Expr) ast.Expr {
+		let, ok := e.(*ast.Let)
+		if !ok {
+			return e
+		}
+		// Names used by sibling initializers, nested function captures, and
+		// the body.
+		exprs := make([]ast.Expr, 0, len(let.Binds)+1)
+		for _, b := range let.Binds {
+			if b.Kind == ast.BindFunc {
+				continue // handled through capture sets by FreeNames
+			}
+			exprs = append(exprs, b.Init)
+		}
+		exprs = append(exprs, let.Body)
+		used := make(map[string]bool)
+		for _, n := range sema.FreeNames(info, exprs, nil) {
+			used[n] = true
+		}
+		// Captures of nested bind functions also count as uses.
+		for _, b := range let.Binds {
+			if b.Kind != ast.BindFunc {
+				continue
+			}
+			if f, ok := info.Funcs[b.Fn.Name]; ok {
+				for _, c := range f.Decl.Captures {
+					used[c] = true
+				}
+			}
+		}
+
+		var kept []*ast.Bind
+		for _, b := range let.Binds {
+			if b.Kind == ast.BindFunc {
+				kept = append(kept, b)
+				continue
+			}
+			anyUsed := false
+			for _, n := range b.Names {
+				if used[n] {
+					anyUsed = true
+					break
+				}
+			}
+			if anyUsed || !effectFree(info, b.Init) {
+				kept = append(kept, b)
+				continue
+			}
+			atomic.AddInt64(&st.DeadBinds, 1)
+		}
+		if len(kept) == 0 {
+			return let.Body
+		}
+		if len(kept) == len(let.Binds) {
+			return e
+		}
+		return &ast.Let{P: let.P, Binds: kept, Body: let.Body}
+	})
+}
+
+// effectFree reports whether evaluating e can have no observable effect
+// beyond producing a value — i.e. it may be deleted when the value is
+// unused. Conservative: any call to a user operator, any function call
+// (may not terminate), and any iterate disqualify.
+func effectFree(info *sema.Info, e ast.Expr) bool {
+	free := true
+	ast.Walk(e, func(x ast.Expr) bool {
+		if !free {
+			return false
+		}
+		switch n := x.(type) {
+		case *ast.Call:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				free = false // closure call
+				return false
+			}
+			switch id.Ref {
+			case ast.RefOperator:
+				op, ok := info.Registry.Lookup(id.Name)
+				if !ok || !op.Pure {
+					free = false
+					return false
+				}
+			default:
+				free = false // function call: may diverge or be impure
+				return false
+			}
+		case *ast.Iterate:
+			free = false
+			return false
+		}
+		return true
+	})
+	return free
+}

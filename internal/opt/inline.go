@@ -1,0 +1,220 @@
+package opt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// BodySnapshot is a frozen copy of every function body, taken between the
+// local-rewrite phase and the inline phase so that parallel per-function
+// inlining never reads a body another worker is rewriting.
+type BodySnapshot struct {
+	bodies map[string]*ast.FuncDecl
+	sizes  map[string]int
+}
+
+// Snapshot captures the current bodies and node counts of every function.
+func Snapshot(info *sema.Info) *BodySnapshot {
+	s := &BodySnapshot{
+		bodies: make(map[string]*ast.FuncDecl, len(info.Funcs)),
+		sizes:  make(map[string]int, len(info.Funcs)),
+	}
+	for name, f := range info.Funcs {
+		s.bodies[name] = ast.CloneFunc(f.Decl)
+		s.sizes[name] = ast.Count(f.Decl.Body)
+	}
+	return s
+}
+
+// InlineFunc expands calls to small, non-recursive functions inside f's
+// body, reading callee bodies from the snapshot. An expanded call becomes a
+// let binding the parameters to the argument expressions around a
+// fresh-renamed copy of the callee body; capture names stay free and
+// resolve at the inline site exactly as they would through the closure
+// environment (alpha-renaming makes them unique program-wide).
+func InlineFunc(info *sema.Info, f *ast.FuncDecl, snap *BodySnapshot, opts Options, st *Stats) {
+	if opts.Level < 2 {
+		return
+	}
+	inl := &inliner{info: info, snap: snap, budget: opts.inlineBudget(), host: f.Name, st: st}
+	f.Body = inl.rewrite(f.Body, true)
+}
+
+type inliner struct {
+	info   *sema.Info
+	snap   *BodySnapshot
+	budget int
+	host   string
+	st     *Stats
+	nextID int
+}
+
+// rewrite walks the body. tail tracks whether the current position is a
+// tail position: tail calls are not inlined, preserving the runtime's O(1)
+// activation reuse for loops (an inlined self-tail-call would unroll once
+// and then still recurse).
+func (in *inliner) rewrite(e ast.Expr, tail bool) ast.Expr {
+	switch x := e.(type) {
+	case nil, *ast.IntLit, *ast.FloatLit, *ast.StrLit, *ast.NullLit, *ast.Ident:
+		return e
+	case *ast.Call:
+		nc := &ast.Call{P: x.P, Fun: x.Fun, Tail: x.Tail}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, in.rewrite(a, false))
+		}
+		if !tail {
+			if r, ok := in.tryInline(nc); ok {
+				return r
+			}
+		}
+		return nc
+	case *ast.TupleExpr:
+		nt := &ast.TupleExpr{P: x.P}
+		for _, el := range x.Elems {
+			nt.Elems = append(nt.Elems, in.rewrite(el, false))
+		}
+		return nt
+	case *ast.Let:
+		nl := &ast.Let{P: x.P}
+		for _, b := range x.Binds {
+			if b.Kind == ast.BindFunc {
+				nl.Binds = append(nl.Binds, b)
+				continue
+			}
+			nl.Binds = append(nl.Binds, &ast.Bind{P: b.P, Kind: b.Kind, Names: b.Names,
+				Init: in.rewrite(b.Init, false)})
+		}
+		nl.Body = in.rewrite(x.Body, tail)
+		return nl
+	case *ast.If:
+		return &ast.If{P: x.P,
+			Cond: in.rewrite(x.Cond, false),
+			Then: in.rewrite(x.Then, tail),
+			Else: in.rewrite(x.Else, tail)}
+	case *ast.Iterate:
+		ni := &ast.Iterate{P: x.P}
+		for _, iv := range x.Vars {
+			ni.Vars = append(ni.Vars, &ast.IterVar{P: iv.P, Name: iv.Name,
+				Init: in.rewrite(iv.Init, false), Next: in.rewrite(iv.Next, false)})
+		}
+		ni.Cond = in.rewrite(x.Cond, false)
+		ni.Result = in.rewrite(x.Result, false)
+		return ni
+	default:
+		return e
+	}
+}
+
+// tryInline expands a direct call to a small non-recursive function.
+func (in *inliner) tryInline(call *ast.Call) (ast.Expr, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Ref != ast.RefFunc {
+		return nil, false
+	}
+	callee, ok := in.snap.bodies[id.Name]
+	if !ok || callee.Recursive || id.Name == in.host {
+		return nil, false
+	}
+	if in.snap.sizes[id.Name] > in.budget {
+		return nil, false
+	}
+	if len(call.Args) != len(callee.Params) {
+		return nil, false // arity error already reported by sema
+	}
+	if containsBindFunc(callee.Body) {
+		// A nested definition's lifted declaration captures the callee's
+		// binder names; renaming them at the inline site would strand the
+		// capture lookups. Such callees stay out of line.
+		return nil, false
+	}
+	body := in.freshen(callee)
+	atomic.AddInt64(&in.st.Inlined, 1)
+	if len(callee.Params) == 0 {
+		return body, true
+	}
+	let := &ast.Let{P: call.P, Body: body}
+	for i, p := range callee.Params {
+		let.Binds = append(let.Binds, &ast.Bind{P: call.P, Kind: ast.BindValue,
+			Names: []string{p + in.suffix()}, Init: call.Args[i]})
+	}
+	return let, true
+}
+
+// suffix returns the rename suffix of the most recent freshen call.
+func (in *inliner) suffix() string {
+	return fmt.Sprintf("@%s%d", in.host, in.nextID)
+}
+
+// freshen clones the callee body and renames every binder defined inside it
+// (parameters included, via the rename map applied to identifier uses) so
+// repeated inlining of the same function cannot collide. Free names —
+// including the callee's captures — are left untouched.
+func (in *inliner) freshen(callee *ast.FuncDecl) ast.Expr {
+	in.nextID++
+	suffix := in.suffix()
+	rename := make(map[string]string, len(callee.Params))
+	for _, p := range callee.Params {
+		rename[p] = p + suffix
+	}
+	body := ast.Clone(callee.Body)
+	collectBinders(body, suffix, rename)
+	return ast.Rewrite(body, func(e ast.Expr) ast.Expr {
+		if ident, ok := e.(*ast.Ident); ok {
+			if nn, ok := rename[ident.Name]; ok {
+				return &ast.Ident{P: ident.P, Name: nn, Ref: ident.Ref}
+			}
+		}
+		return e
+	})
+}
+
+// containsBindFunc reports whether any let in the tree defines a nested
+// function.
+func containsBindFunc(e ast.Expr) bool {
+	found := false
+	ast.Walk(e, func(x ast.Expr) bool {
+		if let, ok := x.(*ast.Let); ok {
+			for _, b := range let.Binds {
+				if b.Kind == ast.BindFunc {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectBinders renames binder occurrences in place and records the
+// mapping for identifier rewriting.
+func collectBinders(e ast.Expr, suffix string, rename map[string]string) {
+	ast.Walk(e, func(x ast.Expr) bool {
+		switch n := x.(type) {
+		case *ast.Let:
+			for _, b := range n.Binds {
+				if b.Kind == ast.BindFunc {
+					// A nested function definition inside an inline
+					// candidate would need a second lift; the budget keeps
+					// candidates small enough that sema-lifted binds are
+					// rare, and the bind is a no-op in the graph. Leave it.
+					continue
+				}
+				for i, name := range b.Names {
+					nn := name + suffix
+					rename[name] = nn
+					b.Names[i] = nn
+				}
+			}
+		case *ast.Iterate:
+			for _, iv := range n.Vars {
+				nn := iv.Name + suffix
+				rename[iv.Name] = nn
+				iv.Name = nn
+			}
+		}
+		return true
+	})
+}

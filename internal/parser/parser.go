@@ -1,0 +1,437 @@
+// Package parser implements a recursive-descent parser for Delirium. The
+// grammar (all six constructs of §3):
+//
+//	program   := (define | funcdecl)*
+//	define    := 'define' IDENT expr
+//	funcdecl  := IDENT '(' params? ')' expr
+//	expr      := letexpr | ifexpr | iterexpr | applyexpr
+//	letexpr   := 'let' bind+ 'in' expr
+//	bind      := IDENT '=' expr
+//	           | '<' IDENT (',' IDENT)* '>' '=' expr
+//	           | IDENT '(' params? ')' expr          -- nested function
+//	ifexpr    := 'if' expr 'then' expr 'else' expr
+//	iterexpr  := 'iterate' '{' itervar+ '}' 'while' expr ',' 'result' expr
+//	itervar   := IDENT '=' expr ',' expr
+//	applyexpr := primary ( '(' args? ')' )*
+//	primary   := INT | FLOAT | STRING | 'NULL' | IDENT
+//	           | '(' expr ')' | '<' args '>'
+//
+// The parser recovers from errors so that one mistake does not hide others;
+// recovery synthesizes NULL expressions and resynchronizes at the next
+// top-level definition.
+package parser
+
+import (
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+)
+
+// Parser consumes a token stream produced by the lexer.
+type Parser struct {
+	toks  []lexer.Token
+	pos   int
+	file  string
+	diags *source.DiagList
+	// errorBase is the diagnostic count when the current top-level
+	// definition began; error recovery only honors layout boundaries once
+	// the count has grown, so correct one-line programs are unaffected.
+	errorBase int
+}
+
+// Parse tokenizes and parses src in one step, the common entry point.
+func Parse(file, src string, diags *source.DiagList) *ast.Program {
+	l := lexer.New(file, src, diags)
+	return ParseTokens(file, l.ScanAll(), diags)
+}
+
+// ParseTokens parses a pre-scanned token stream. The parallel compiler lexes
+// once and hands per-function token slices to parser workers.
+func ParseTokens(file string, toks []lexer.Token, diags *source.DiagList) *ast.Program {
+	p := &Parser{toks: toks, file: file, diags: diags}
+	return p.parseProgram()
+}
+
+// ParseExprString parses a standalone expression; used by tests and the
+// expression-evaluation conveniences.
+func ParseExprString(src string, diags *source.DiagList) ast.Expr {
+	l := lexer.New("<expr>", src, diags)
+	p := &Parser{toks: l.ScanAll(), file: "<expr>", diags: diags}
+	e := p.parseExpr()
+	if p.peek().Type != lexer.EOF {
+		p.errorf(p.peek().Pos, "unexpected %s after expression", p.peek())
+	}
+	return e
+}
+
+func (p *Parser) peek() lexer.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekAt(n int) lexer.Token {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF token
+	}
+	return p.toks[i]
+}
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Type != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(tt lexer.Type) bool { return p.peek().Type == tt }
+
+// accept consumes the next token if it has the given type.
+func (p *Parser) accept(tt lexer.Type) (lexer.Token, bool) {
+	if p.at(tt) {
+		return p.next(), true
+	}
+	return lexer.Token{}, false
+}
+
+// expect consumes a token of the given type or reports an error.
+func (p *Parser) expect(tt lexer.Type, context string) lexer.Token {
+	if p.at(tt) {
+		return p.next()
+	}
+	p.errorf(p.peek().Pos, "expected %s %s, found %s", tt, context, p.peek())
+	return lexer.Token{Type: tt, Pos: p.peek().Pos}
+}
+
+func (p *Parser) errorf(pos source.Pos, format string, args ...interface{}) {
+	p.diags.Errorf(pos, format, args...)
+}
+
+// parseProgram parses defines and function declarations until EOF.
+func (p *Parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for !p.at(lexer.EOF) {
+		switch {
+		case p.at(lexer.KwDefine):
+			d := p.parseDefine()
+			if d != nil {
+				prog.Defines = append(prog.Defines, d)
+			}
+		case p.at(lexer.IDENT) && p.peekAt(1).Type == lexer.LPAREN:
+			before := p.diags.Len()
+			f := p.parseFuncDecl()
+			if f != nil {
+				prog.Funcs = append(prog.Funcs, f)
+			}
+			if p.diags.Len() > before {
+				// The body was malformed; resynchronize at the next
+				// definition so one mistake does not cascade.
+				p.syncTopLevel()
+			}
+		default:
+			p.errorf(p.peek().Pos, "expected function definition or 'define', found %s", p.peek())
+			p.next()
+			p.syncTopLevel()
+		}
+	}
+	return prog
+}
+
+// syncTopLevel skips tokens until the start of a plausible top-level form:
+// a 'define' keyword or an IDENT '(' pair beginning a source line (the
+// column-1 layout convention used by every program in the paper).
+func (p *Parser) syncTopLevel() {
+	for !p.at(lexer.EOF) {
+		t := p.peek()
+		if t.Pos.Col == 1 {
+			if t.Type == lexer.KwDefine {
+				return
+			}
+			if t.Type == lexer.IDENT && p.peekAt(1).Type == lexer.LPAREN {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// parseDefine parses: define NAME expr.
+func (p *Parser) parseDefine() *ast.Define {
+	kw := p.expect(lexer.KwDefine, "at top level")
+	name := p.expect(lexer.IDENT, "after 'define'")
+	e := p.parseExpr()
+	return &ast.Define{P: kw.Pos, Name: name.Lit, Expr: e}
+}
+
+// inError reports whether diagnostics were added since the current
+// top-level definition began.
+func (p *Parser) inError() bool { return p.diags.Len() > p.errorBase }
+
+// atBoundary reports whether the next token begins a new top-level
+// definition under the column-1 layout convention.
+func (p *Parser) atBoundary() bool {
+	t := p.peek()
+	if t.Pos.Col != 1 {
+		return false
+	}
+	return t.Type == lexer.KwDefine ||
+		(t.Type == lexer.IDENT && p.peekAt(1).Type == lexer.LPAREN)
+}
+
+// parseFuncDecl parses: name(params) body.
+func (p *Parser) parseFuncDecl() *ast.FuncDecl {
+	saved := p.errorBase
+	p.errorBase = p.diags.Len()
+	defer func() { p.errorBase = saved }()
+	name := p.expect(lexer.IDENT, "to begin function definition")
+	p.expect(lexer.LPAREN, "after function name")
+	params := p.parseParams()
+	p.expect(lexer.RPAREN, "after parameter list")
+	body := p.parseExpr()
+	return &ast.FuncDecl{P: name.Pos, Name: name.Lit, Params: params, Body: body}
+}
+
+// parseParams parses a possibly-empty comma-separated identifier list.
+func (p *Parser) parseParams() []string {
+	var params []string
+	if p.at(lexer.RPAREN) {
+		return params
+	}
+	for {
+		id := p.expect(lexer.IDENT, "in parameter list")
+		params = append(params, id.Lit)
+		if _, ok := p.accept(lexer.COMMA); !ok {
+			return params
+		}
+	}
+}
+
+// parseExpr dispatches on the leading token.
+func (p *Parser) parseExpr() ast.Expr {
+	switch p.peek().Type {
+	case lexer.KwLet:
+		return p.parseLet()
+	case lexer.KwIf:
+		return p.parseIf()
+	case lexer.KwIterate:
+		return p.parseIterate()
+	default:
+		return p.parseApply()
+	}
+}
+
+// parseLet parses: let bind+ in expr.
+func (p *Parser) parseLet() ast.Expr {
+	kw := p.next() // let
+	var binds []*ast.Bind
+	for !p.at(lexer.KwIn) && !p.at(lexer.EOF) {
+		if p.inError() && p.atBoundary() {
+			break // a new top-level definition starts; stop consuming
+		}
+		b := p.parseBind()
+		if b == nil {
+			break
+		}
+		binds = append(binds, b)
+	}
+	if len(binds) == 0 {
+		p.errorf(kw.Pos, "let expression has no bindings")
+	}
+	if _, ok := p.accept(lexer.KwIn); !ok {
+		p.errorf(p.peek().Pos, "expected 'in' to end let bindings, found %s", p.peek())
+		if p.atBoundary() {
+			return &ast.Let{P: kw.Pos, Binds: binds, Body: &ast.NullLit{P: p.peek().Pos}}
+		}
+	}
+	body := p.parseExpr()
+	return &ast.Let{P: kw.Pos, Binds: binds, Body: body}
+}
+
+// parseBind parses one of the three binding forms.
+func (p *Parser) parseBind() *ast.Bind {
+	switch {
+	case p.at(lexer.LANGLE):
+		// <a, b, c> = expr
+		lt := p.next()
+		var names []string
+		for {
+			id := p.expect(lexer.IDENT, "in multiple-value decomposition")
+			names = append(names, id.Lit)
+			if _, ok := p.accept(lexer.COMMA); !ok {
+				break
+			}
+		}
+		p.expect(lexer.RANGLE, "to close decomposition pattern")
+		p.expect(lexer.ASSIGN, "after decomposition pattern")
+		init := p.parseExpr()
+		return &ast.Bind{P: lt.Pos, Kind: ast.BindTuple, Names: names, Init: init}
+	case p.at(lexer.IDENT) && p.peekAt(1).Type == lexer.ASSIGN:
+		id := p.next()
+		p.next() // '='
+		init := p.parseExpr()
+		return &ast.Bind{P: id.Pos, Kind: ast.BindValue, Names: []string{id.Lit}, Init: init}
+	case p.at(lexer.IDENT) && p.peekAt(1).Type == lexer.LPAREN:
+		fn := p.parseFuncDecl()
+		return &ast.Bind{P: fn.P, Kind: ast.BindFunc, Names: []string{fn.Name}, Fn: fn}
+	default:
+		p.errorf(p.peek().Pos, "expected binding (name =, <names> =, or function definition), found %s", p.peek())
+		p.next() // guarantee progress
+		return nil
+	}
+}
+
+// parseIf parses: if expr then expr else expr.
+func (p *Parser) parseIf() ast.Expr {
+	kw := p.next() // if
+	cond := p.parseExpr()
+	p.expect(lexer.KwThen, "in conditional")
+	then := p.parseExpr()
+	p.expect(lexer.KwElse, "in conditional")
+	els := p.parseExpr()
+	return &ast.If{P: kw.Pos, Cond: cond, Then: then, Else: els}
+}
+
+// parseIterate parses:
+//
+//	iterate { v=init,next ... } while cond, result expr
+func (p *Parser) parseIterate() ast.Expr {
+	kw := p.next() // iterate
+	p.expect(lexer.LBRACE, "after 'iterate'")
+	var vars []*ast.IterVar
+	for p.at(lexer.IDENT) {
+		id := p.next()
+		p.expect(lexer.ASSIGN, "after loop variable name")
+		init := p.parseExpr()
+		p.expect(lexer.COMMA, "between loop variable's initial and next expressions")
+		next := p.parseExpr()
+		vars = append(vars, &ast.IterVar{P: id.Pos, Name: id.Lit, Init: init, Next: next})
+		// Trailing comma between variables is tolerated (the paper's examples
+		// end next-expressions with a comma before the closing brace).
+		p.accept(lexer.COMMA)
+	}
+	if len(vars) == 0 {
+		p.errorf(kw.Pos, "iterate has no loop variables")
+	}
+	p.expect(lexer.RBRACE, "to close iterate variables")
+	p.expect(lexer.KwWhile, "after iterate block")
+	cond := p.parseExpr()
+	p.accept(lexer.COMMA)
+	p.expect(lexer.KwResult, "after iterate condition")
+	result := p.parseExpr()
+	return &ast.Iterate{P: kw.Pos, Vars: vars, Cond: cond, Result: result}
+}
+
+// parseApply parses a primary expression followed by call tails.
+func (p *Parser) parseApply() ast.Expr {
+	e := p.parsePrimary()
+	for p.at(lexer.LPAREN) {
+		lp := p.next()
+		var args []ast.Expr
+		if !p.at(lexer.RPAREN) {
+			for {
+				args = append(args, p.parseExpr())
+				if _, ok := p.accept(lexer.COMMA); !ok {
+					break
+				}
+			}
+		}
+		p.expect(lexer.RPAREN, "to close argument list")
+		e = &ast.Call{P: lp.Pos, Fun: e, Args: args}
+	}
+	return e
+}
+
+// parsePrimary parses literals, identifiers, parenthesized expressions, and
+// multiple-value constructors.
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.peek()
+	switch t.Type {
+	case lexer.INT:
+		p.next()
+		return &ast.IntLit{P: t.Pos, Val: t.IntVal}
+	case lexer.FLOAT:
+		p.next()
+		return &ast.FloatLit{P: t.Pos, Val: t.FltVal}
+	case lexer.STRING:
+		p.next()
+		return &ast.StrLit{P: t.Pos, Val: t.Lit}
+	case lexer.KwNull:
+		p.next()
+		return &ast.NullLit{P: t.Pos}
+	case lexer.IDENT:
+		p.next()
+		return &ast.Ident{P: t.Pos, Name: t.Lit}
+	case lexer.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(lexer.RPAREN, "to close parenthesized expression")
+		return e
+	case lexer.LANGLE:
+		p.next()
+		var elems []ast.Expr
+		if !p.at(lexer.RANGLE) {
+			for {
+				elems = append(elems, p.parseExpr())
+				if _, ok := p.accept(lexer.COMMA); !ok {
+					break
+				}
+			}
+		}
+		p.expect(lexer.RANGLE, "to close multiple-value package")
+		return &ast.TupleExpr{P: t.Pos, Elems: elems}
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t)
+		p.next() // guarantee progress
+		return &ast.NullLit{P: t.Pos}
+	}
+}
+
+// ParseChunk parses a token slice that contains zero or more complete
+// top-level forms (defines and function definitions). The parallel parsing
+// stage feeds it the chunks produced by SplitTopLevel; because a chunk is
+// parsed as a miniature program, splitting is purely a parallelization hint
+// and never affects correctness.
+func ParseChunk(file string, toks []lexer.Token, diags *source.DiagList) *ast.Program {
+	p := &Parser{toks: toks, file: file, diags: diags}
+	return p.parseProgram()
+}
+
+// SplitTopLevel partitions a token stream into chunks at top-level
+// definition boundaries, each chunk terminated by an EOF token. It is the
+// sequential "crown" step of the parallel parsing pass (§6.2): the chunks are
+// then parsed independently by worker operators and the resulting function
+// lists merged.
+//
+// A boundary is a 'define' keyword or an IDENT '(' pair whose identifier
+// starts a source line (column 1). This is the layout convention of every
+// program in the paper — top-level definitions begin in column one and
+// continuation lines are indented. Input that ignores the convention still
+// parses correctly: a chunk may carry several definitions and ParseChunk
+// accepts all of them.
+func SplitTopLevel(toks []lexer.Token) [][]lexer.Token {
+	var chunks [][]lexer.Token
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			chunk := make([]lexer.Token, 0, end-start+1)
+			chunk = append(chunk, toks[start:end]...)
+			chunk = append(chunk, lexer.Token{Type: lexer.EOF, Pos: toks[end-1].Pos})
+			chunks = append(chunks, chunk)
+		}
+		start = end
+	}
+	for i, t := range toks {
+		if t.Type == lexer.EOF {
+			flush(i)
+			break
+		}
+		if i == start {
+			continue // never split at the current chunk head
+		}
+		isBoundary := t.Pos.Col == 1 &&
+			(t.Type == lexer.KwDefine ||
+				(t.Type == lexer.IDENT && i+1 < len(toks) && toks[i+1].Type == lexer.LPAREN))
+		if isBoundary {
+			flush(i)
+		}
+	}
+	return chunks
+}

@@ -1,0 +1,462 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+)
+
+// queensSrc is the eight queens program from §3 of the paper, verbatim up to
+// whitespace.
+const queensSrc = `
+main()
+  let board = empty_board()
+  in show_solutions(do_it(board,1))
+
+do_it(board,queen)
+  let h1 = try(board,queen,1)
+      h2 = try(board,queen,2)
+      h3 = try(board,queen,3)
+      h4 = try(board,queen,4)
+      h5 = try(board,queen,5)
+      h6 = try(board,queen,6)
+      h7 = try(board,queen,7)
+      h8 = try(board,queen,8)
+  in merge(h1,h2,h3,h4,h5,h6,h7,h8)
+
+try(board,queen,location)
+  let new_board = add_queen(board,queen,location)
+  in if is_valid(new_board)
+      then if is_equal(queen,8)
+            then new_board
+            else do_it(new_board,incr(queen))
+      else NULL
+`
+
+// retinaSrc is the first retina program from §5.1 of the paper.
+const retinaSrc = `
+define NUM_ITER 4
+define START_SLAB 0
+define FINAL_SLAB 4
+
+main()
+  iterate
+  {
+    timestep=0,incr(timestep)
+    scene=set_up(),
+      let
+        <a,b,c,d>=target_split(scene)
+        ao=target_bite(a)
+        bo=target_bite(b)
+        co=target_bite(c)
+        do_=target_bite(d)
+      in do_convol(ao,bo,co,do_)
+  }
+  while is_not_equal(timestep, NUM_ITER),
+  result scene
+
+do_convol(c1,c2,c3,c4)
+  iterate
+  {
+    slab=START_SLAB,incr(slab)
+    convolve_data=pre_update(c1,c2,c3,c4),
+      let
+        <a,b,c,d>=convol_split(convolve_data)
+        ao=convol_bite(a,slab)
+        bo=convol_bite(b,slab)
+        co=convol_bite(c,slab)
+        do_=convol_bite(d,slab)
+      in post_up(slab,ao,bo,co,do_)
+  } while is_not_equal(slab,FINAL_SLAB),
+    result convolve_data
+`
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	var diags source.DiagList
+	prog := Parse("test.dlr", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%v", diags.Err())
+	}
+	return prog
+}
+
+func TestParseQueens(t *testing.T) {
+	prog := parse(t, queensSrc)
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(prog.Funcs))
+	}
+	names := []string{"main", "do_it", "try"}
+	for i, want := range names {
+		if prog.Funcs[i].Name != want {
+			t.Errorf("func[%d] = %q, want %q", i, prog.Funcs[i].Name, want)
+		}
+	}
+	doIt := prog.Func("do_it")
+	if len(doIt.Params) != 2 || doIt.Params[0] != "board" || doIt.Params[1] != "queen" {
+		t.Errorf("do_it params = %v", doIt.Params)
+	}
+	let, ok := doIt.Body.(*ast.Let)
+	if !ok {
+		t.Fatalf("do_it body is %T, want *Let", doIt.Body)
+	}
+	if len(let.Binds) != 8 {
+		t.Errorf("do_it has %d bindings, want 8", len(let.Binds))
+	}
+	call, ok := let.Body.(*ast.Call)
+	if !ok || call.Fun.(*ast.Ident).Name != "merge" {
+		t.Errorf("do_it let body = %v", ast.Print(let.Body))
+	}
+	if len(call.Args) != 8 {
+		t.Errorf("merge has %d args, want 8", len(call.Args))
+	}
+
+	try := prog.Func("try")
+	ifs, ok := try.Body.(*ast.Let).Body.(*ast.If)
+	if !ok {
+		t.Fatalf("try body is not let-in-if")
+	}
+	inner, ok := ifs.Then.(*ast.If)
+	if !ok {
+		t.Fatalf("nested conditional missing")
+	}
+	if _, ok := inner.Else.(*ast.Call); !ok {
+		t.Errorf("inner else should be recursive call, got %T", inner.Else)
+	}
+	if _, ok := ifs.Else.(*ast.NullLit); !ok {
+		t.Errorf("outer else should be NULL, got %T", ifs.Else)
+	}
+}
+
+func TestParseRetina(t *testing.T) {
+	prog := parse(t, retinaSrc)
+	if len(prog.Defines) != 3 {
+		t.Fatalf("got %d defines, want 3", len(prog.Defines))
+	}
+	if prog.Defines[0].Name != "NUM_ITER" {
+		t.Errorf("define[0] = %q", prog.Defines[0].Name)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d functions, want 2", len(prog.Funcs))
+	}
+	it, ok := prog.Func("main").Body.(*ast.Iterate)
+	if !ok {
+		t.Fatalf("main body is %T, want *Iterate", prog.Func("main").Body)
+	}
+	if len(it.Vars) != 2 {
+		t.Fatalf("main iterate has %d vars, want 2", len(it.Vars))
+	}
+	if it.Vars[0].Name != "timestep" || it.Vars[1].Name != "scene" {
+		t.Errorf("iterate vars = %q, %q", it.Vars[0].Name, it.Vars[1].Name)
+	}
+	if _, ok := it.Vars[1].Next.(*ast.Let); !ok {
+		t.Errorf("scene next should be let, got %T", it.Vars[1].Next)
+	}
+	if res, ok := it.Result.(*ast.Ident); !ok || res.Name != "scene" {
+		t.Errorf("iterate result = %v", ast.Print(it.Result))
+	}
+	// The let inside the iterate decomposes a multiple-value package.
+	let := it.Vars[1].Next.(*ast.Let)
+	if let.Binds[0].Kind != ast.BindTuple || len(let.Binds[0].Names) != 4 {
+		t.Errorf("first binding should be 4-way decomposition, got %+v", let.Binds[0])
+	}
+}
+
+func TestParseForkJoinExample(t *testing.T) {
+	// The §2.1 fork/join fragment.
+	src := `
+run()
+  let
+    a_start=init_fn()
+    a=convolve(a_start,0)
+    b=convolve(a_start,1)
+    c=convolve(a_start,2)
+    d=convolve(a_start,3)
+  in term_fn(a,b,c,d)
+`
+	prog := parse(t, src)
+	let := prog.Func("run").Body.(*ast.Let)
+	if len(let.Binds) != 5 {
+		t.Fatalf("got %d bindings, want 5", len(let.Binds))
+	}
+}
+
+func TestParseNestedFunctionBinding(t *testing.T) {
+	src := `
+main()
+  let sq(x) mul(x,x)
+      y = sq(4)
+  in sq(y)
+`
+	prog := parse(t, src)
+	let := prog.Func("main").Body.(*ast.Let)
+	if len(let.Binds) != 2 {
+		t.Fatalf("got %d bindings, want 2", len(let.Binds))
+	}
+	if let.Binds[0].Kind != ast.BindFunc || let.Binds[0].Fn.Name != "sq" {
+		t.Errorf("first binding should be function sq, got %+v", let.Binds[0])
+	}
+	if let.Binds[1].Kind != ast.BindValue {
+		t.Errorf("second binding should be value, got %+v", let.Binds[1])
+	}
+}
+
+func TestParseFirstClassFunctionUse(t *testing.T) {
+	src := `
+apply_twice(f, x) f(f(x))
+main() apply_twice(double, 5)
+`
+	prog := parse(t, src)
+	at := prog.Func("apply_twice")
+	outer := at.Body.(*ast.Call)
+	if outer.Fun.(*ast.Ident).Name != "f" {
+		t.Errorf("callee = %v", ast.Print(outer.Fun))
+	}
+	m := prog.Func("main").Body.(*ast.Call)
+	if arg, ok := m.Args[0].(*ast.Ident); !ok || arg.Name != "double" {
+		t.Errorf("function-valued argument = %v", ast.Print(m.Args[0]))
+	}
+}
+
+func TestParseCurriedCall(t *testing.T) {
+	var diags source.DiagList
+	e := ParseExprString("pick(a)(b, c)", &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	outer, ok := e.(*ast.Call)
+	if !ok || len(outer.Args) != 2 {
+		t.Fatalf("outer = %v", ast.Print(e))
+	}
+	if _, ok := outer.Fun.(*ast.Call); !ok {
+		t.Errorf("callee should be a call, got %T", outer.Fun)
+	}
+}
+
+func TestParseTupleConstructor(t *testing.T) {
+	var diags source.DiagList
+	e := ParseExprString("<1, 2.5, \"x\", NULL, <a>>", &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	tup := e.(*ast.TupleExpr)
+	if len(tup.Elems) != 5 {
+		t.Fatalf("elems = %d, want 5", len(tup.Elems))
+	}
+	if _, ok := tup.Elems[4].(*ast.TupleExpr); !ok {
+		t.Errorf("nested tuple missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"main() let in x", "no bindings"},
+		{"main() let a = in x", "expected expression"},
+		{"main() if x then y", "expected 'else'"},
+		{"main() iterate { } while x, result y", "no loop variables"},
+		{"main() iterate { a=1 } result y", "expected 'while'"},
+		{"main() (a", "expected ')'"},
+		{"main() <a, ", "expected expression"},
+		{"main(", "expected ')'"},
+		{"42", "expected function definition or 'define'"},
+		{"define 5 x", "expected identifier after 'define'"},
+	}
+	for _, c := range cases {
+		var diags source.DiagList
+		Parse("t.dlr", c.src, &diags)
+		if !diags.HasErrors() {
+			t.Errorf("src %q: expected parse error", c.src)
+			continue
+		}
+		if !strings.Contains(diags.Err().Error(), c.want) {
+			t.Errorf("src %q: error %q does not mention %q", c.src, diags.Err(), c.want)
+		}
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	// Errors in one function must not hide later functions.
+	src := `
+broken() let x = in y
+good(a) incr(a)
+`
+	var diags source.DiagList
+	prog := Parse("t.dlr", src, &diags)
+	if !diags.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	if prog.Func("good") == nil {
+		t.Error("parser failed to recover and parse the second function")
+	}
+}
+
+func TestRoundTripPrintParse(t *testing.T) {
+	for _, src := range []string{queensSrc, retinaSrc} {
+		prog1 := parse(t, src)
+		printed := ast.PrintProgram(prog1)
+		var diags source.DiagList
+		prog2 := Parse("rt.dlr", printed, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("printed program does not re-parse:\n%s\n%v", printed, diags.Err())
+		}
+		printed2 := ast.PrintProgram(prog2)
+		if printed != printed2 {
+			t.Errorf("print->parse->print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, printed2)
+		}
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	var diags source.DiagList
+	l := lexer.New("t.dlr", queensSrc, &diags)
+	toks := l.ScanAll()
+	chunks := SplitTopLevel(toks)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	var names []string
+	for _, chunk := range chunks {
+		var cd source.DiagList
+		p := ParseChunk("t.dlr", chunk, &cd)
+		if cd.HasErrors() {
+			t.Fatalf("chunk parse errors: %v", cd.Err())
+		}
+		for _, f := range p.Funcs {
+			names = append(names, f.Name)
+		}
+	}
+	want := []string{"main", "do_it", "try"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("chunk func[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSplitTopLevelWithDefines(t *testing.T) {
+	var diags source.DiagList
+	l := lexer.New("t.dlr", retinaSrc, &diags)
+	chunks := SplitTopLevel(l.ScanAll())
+	// 3 defines + 2 functions.
+	if len(chunks) != 5 {
+		t.Fatalf("got %d chunks, want 5", len(chunks))
+	}
+	totalDefines, totalFuncs := 0, 0
+	for _, chunk := range chunks {
+		var cd source.DiagList
+		p := ParseChunk("t.dlr", chunk, &cd)
+		if cd.HasErrors() {
+			t.Fatalf("chunk errors: %v", cd.Err())
+		}
+		totalDefines += len(p.Defines)
+		totalFuncs += len(p.Funcs)
+	}
+	if totalDefines != 3 || totalFuncs != 2 {
+		t.Errorf("split+parse found %d defines, %d funcs; want 3, 2", totalDefines, totalFuncs)
+	}
+}
+
+func TestSplitTopLevelIndentedDefsStayTogether(t *testing.T) {
+	// Definitions that violate the column-1 convention are not split, but
+	// chunk parsing still accepts multiple definitions per chunk.
+	src := "a() incr(1)\n  b() incr(2)\n"
+	var diags source.DiagList
+	l := lexer.New("t.dlr", src, &diags)
+	chunks := SplitTopLevel(l.ScanAll())
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks, want 1", len(chunks))
+	}
+	var cd source.DiagList
+	p := ParseChunk("t.dlr", chunks[0], &cd)
+	if len(p.Funcs) != 2 {
+		t.Errorf("chunk should parse both functions, got %d", len(p.Funcs))
+	}
+}
+
+func TestSplitMatchesSequentialParse(t *testing.T) {
+	// Property: chunked parsing yields the same function set as sequential.
+	for _, src := range []string{queensSrc, retinaSrc} {
+		seq := parse(t, src)
+		var diags source.DiagList
+		l := lexer.New("t.dlr", src, &diags)
+		chunks := SplitTopLevel(l.ScanAll())
+		var merged ast.Program
+		for _, chunk := range chunks {
+			p := ParseChunk("t.dlr", chunk, &diags)
+			merged.Defines = append(merged.Defines, p.Defines...)
+			merged.Funcs = append(merged.Funcs, p.Funcs...)
+		}
+		if diags.HasErrors() {
+			t.Fatalf("chunk errors: %v", diags.Err())
+		}
+		if got, want := ast.PrintProgram(&merged), ast.PrintProgram(seq); got != want {
+			t.Errorf("chunked parse differs from sequential:\n--- chunked\n%s\n--- sequential\n%s", got, want)
+		}
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	prog := parse(t, queensSrc)
+	n := ast.CountProgram(prog)
+	if n < 50 {
+		t.Errorf("CountProgram = %d, implausibly small for queens", n)
+	}
+	// Clone must preserve the count.
+	cl := ast.CloneProgram(prog)
+	if ast.CountProgram(cl) != n {
+		t.Errorf("clone changed node count: %d vs %d", ast.CountProgram(cl), n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := parse(t, queensSrc)
+	cl := ast.CloneProgram(prog)
+	// Mutate the clone and verify the original is untouched.
+	cl.Funcs[0].Name = "changed"
+	cl.Funcs[1].Body = &ast.NullLit{}
+	if prog.Funcs[0].Name != "main" {
+		t.Error("clone shares function metadata with original")
+	}
+	if _, ok := prog.Funcs[1].Body.(*ast.Let); !ok {
+		t.Error("clone shares body with original")
+	}
+}
+
+func TestRewriteReplacesLiterals(t *testing.T) {
+	var diags source.DiagList
+	e := ParseExprString("add(1, mul(2, x))", &diags)
+	out := ast.Rewrite(e, func(e ast.Expr) ast.Expr {
+		if lit, ok := e.(*ast.IntLit); ok {
+			return &ast.IntLit{P: lit.P, Val: lit.Val * 10}
+		}
+		return e
+	})
+	want := "add(10, mul(20, x))"
+	if got := ast.Print(out); got != want {
+		t.Errorf("Rewrite = %q, want %q", got, want)
+	}
+	// Original untouched (Rewrite builds fresh spines).
+	if got := ast.Print(e); got != "add(1, mul(2, x))" {
+		t.Errorf("Rewrite mutated original: %q", got)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	var diags source.DiagList
+	e := ParseExprString("if c then deep(nested(x)) else y", &diags)
+	count := 0
+	ast.Walk(e, func(e ast.Expr) bool {
+		count++
+		_, isIf := e.(*ast.If)
+		return !isIf // prune below the if
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d nodes, want 1", count)
+	}
+}

@@ -1,0 +1,108 @@
+// Package prelude is a small standard library written in Delirium itself,
+// addressing the critique of §9.2: "the number of pieces into which a data
+// structure is divided is chosen explicitly by the Delirium programmer.
+// This is an awkward way to describe high degrees of parallelism." The
+// paper says the authors "addressed this problem by generalizing the
+// language with a notation that encompasses more complex coordination"
+// (citing their coordination-structures work); here the same effect falls
+// out of the existing language: first-class functions plus divide-and-
+// conquer recursion express dynamic-width parallelism with no new syntax.
+//
+//   - iota(n)            the package <1, 2, ..., n>
+//   - parmap(f, t)       applies f to every element of t; all applications
+//     run in parallel (a balanced binary recursion tree)
+//   - parreduce(f, z, t) combines t's elements with the associative f,
+//     again as a balanced tree, so an n-element
+//     reduction has O(log n) critical path
+//   - partabulate(f, n)  the package <f(1), ..., f(n)> without
+//     materializing iota first
+//   - parfilter(p, t)    the elements of t for which the predicate p
+//     holds, with every test run in parallel
+//
+// Prepend Source() to a program (the prelude is ordinary Delirium, so it
+// costs nothing unless called).
+package prelude
+
+// Source returns the prelude's Delirium source text.
+func Source() string { return src }
+
+// FunctionNames lists the names the prelude defines, so front ends can
+// detect collisions early.
+func FunctionNames() []string {
+	return []string{
+		"iota", "iota_range",
+		"parmap", "parmap_range",
+		"parreduce", "parreduce_range",
+		"partabulate", "partabulate_range",
+		"parfilter", "parfilter_range",
+	}
+}
+
+const src = `-- Delirium prelude: dynamic-width coordination structures (see §9.2).
+
+iota(n)
+  iota_range(1, n)
+
+iota_range(lo, hi)
+  if gt(lo, hi)
+    then <>
+    else if is_equal(lo, hi)
+      then <lo>
+      else let mid = div(add(lo, hi), 2)
+               left = iota_range(lo, mid)
+               right = iota_range(incr(mid), hi)
+           in tuple_concat(left, right)
+
+parmap(f, t)
+  parmap_range(f, t, 1, tuple_len(t))
+
+parmap_range(f, t, lo, hi)
+  if gt(lo, hi)
+    then <>
+    else if is_equal(lo, hi)
+      then <f(tuple_get(t, lo))>
+      else let mid = div(add(lo, hi), 2)
+               left = parmap_range(f, t, lo, mid)
+               right = parmap_range(f, t, incr(mid), hi)
+           in tuple_concat(left, right)
+
+parreduce(f, z, t)
+  parreduce_range(f, z, t, 1, tuple_len(t))
+
+parreduce_range(f, z, t, lo, hi)
+  if gt(lo, hi)
+    then z
+    else if is_equal(lo, hi)
+      then tuple_get(t, lo)
+      else let mid = div(add(lo, hi), 2)
+               left = parreduce_range(f, z, t, lo, mid)
+               right = parreduce_range(f, z, t, incr(mid), hi)
+           in f(left, right)
+
+partabulate(f, n)
+  partabulate_range(f, 1, n)
+
+partabulate_range(f, lo, hi)
+  if gt(lo, hi)
+    then <>
+    else if is_equal(lo, hi)
+      then <f(lo)>
+      else let mid = div(add(lo, hi), 2)
+               left = partabulate_range(f, lo, mid)
+               right = partabulate_range(f, incr(mid), hi)
+           in tuple_concat(left, right)
+
+parfilter(p, t)
+  parfilter_range(p, t, 1, tuple_len(t))
+
+parfilter_range(p, t, lo, hi)
+  if gt(lo, hi)
+    then <>
+    else if is_equal(lo, hi)
+      then let x = tuple_get(t, lo)
+           in if p(x) then <x> else <>
+      else let mid = div(add(lo, hi), 2)
+               left = parfilter_range(p, t, lo, mid)
+               right = parfilter_range(p, t, incr(mid), hi)
+           in tuple_concat(left, right)
+`

@@ -1,0 +1,283 @@
+package prelude
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/machine"
+	"repro/internal/operator"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+// run compiles prelude+src and executes it.
+func run(t *testing.T, src string, reg *operator.Registry, cfg runtime.Config, args ...value.Value) (value.Value, *runtime.Engine) {
+	t.Helper()
+	if reg == nil {
+		reg = operator.Builtins()
+	}
+	res, err := compile.Compile("prelude-test.dlr", Source()+src, compile.Options{Registry: reg})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	eng := runtime.New(res.Program, cfg)
+	v, err := eng.Run(args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, eng
+}
+
+func realCfg() runtime.Config {
+	return runtime.Config{Mode: runtime.Real, Workers: 4, MaxOps: 10_000_000}
+}
+
+func TestPreludeCompilesAlone(t *testing.T) {
+	res, err := compile.Compile("prelude.dlr", Source()+"\nmain() 1\n", compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range FunctionNames() {
+		if _, ok := res.Program.Template(name); !ok {
+			t.Errorf("prelude function %s missing from compiled program", name)
+		}
+	}
+}
+
+func TestIota(t *testing.T) {
+	v, _ := run(t, "main(n) iota(n)", nil, realCfg(), value.Int(6))
+	tup, ok := v.(value.Tuple)
+	if !ok || len(tup) != 6 {
+		t.Fatalf("iota(6) = %v", v)
+	}
+	for i, el := range tup {
+		if el != value.Int(i+1) {
+			t.Errorf("iota[%d] = %v", i, el)
+		}
+	}
+	empty, _ := run(t, "main() iota(0)", nil, realCfg())
+	if et, ok := empty.(value.Tuple); !ok || len(et) != 0 {
+		t.Errorf("iota(0) = %v, want empty package", empty)
+	}
+}
+
+func TestParmap(t *testing.T) {
+	src := `
+square(x) mul(x, x)
+main(n) parmap(square, iota(n))
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(8))
+	tup := v.(value.Tuple)
+	if len(tup) != 8 {
+		t.Fatalf("parmap produced %d elements", len(tup))
+	}
+	for i, el := range tup {
+		want := value.Int((i + 1) * (i + 1))
+		if el != want {
+			t.Errorf("parmap[%d] = %v, want %v (order must be preserved)", i, el, want)
+		}
+	}
+}
+
+func TestParreduce(t *testing.T) {
+	src := `
+plus(a, b) add(a, b)
+main(n) parreduce(plus, 0, iota(n))
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(100))
+	if v != value.Int(5050) {
+		t.Errorf("sum 1..100 = %v, want 5050", v)
+	}
+	empty, _ := run(t, "plus(a,b) add(a,b)\nmain() parreduce(plus, 42, <>)", nil, realCfg())
+	if empty != value.Int(42) {
+		t.Errorf("reduce of empty package = %v, want identity 42", empty)
+	}
+}
+
+func TestPartabulate(t *testing.T) {
+	src := `
+cube(x) mul(x, mul(x, x))
+main(n) partabulate(cube, n)
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(5))
+	tup := v.(value.Tuple)
+	want := []int64{1, 8, 27, 64, 125}
+	for i, w := range want {
+		if tup[i] != value.Int(w) {
+			t.Errorf("partabulate[%d] = %v, want %d", i, tup[i], w)
+		}
+	}
+}
+
+func TestMapReducePipeline(t *testing.T) {
+	// Sum of squares 1..n, entirely through the dynamic-width structures.
+	src := `
+square(x) mul(x, x)
+plus(a, b) add(a, b)
+main(n) parreduce(plus, 0, parmap(square, iota(n)))
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(20))
+	if v != value.Int(2870) {
+		t.Errorf("sum of squares 1..20 = %v, want 2870", v)
+	}
+}
+
+func TestDynamicWidthActuallyParallel(t *testing.T) {
+	// The §9.2 point: the SAME program exploits however many processors
+	// exist — no hard-wired four-way split. A heavy operator mapped over
+	// 16 elements must show near-linear simulated speedup from 1 to 8.
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "heavy", Arity: 1, Pure: false,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(100000)
+			return args[0], nil
+		},
+	})
+	src := `
+hop(x) heavy(x)
+main(n) parmap(hop, iota(n))
+`
+	makespan := func(procs int) int64 {
+		res, err := compile.Compile("dyn.dlr", Source()+src, compile.Options{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := runtime.New(res.Program, runtime.Config{
+			Mode: runtime.Simulated, Workers: procs,
+			Machine: machine.CrayYMP().WithProcs(procs), MaxOps: 10_000_000})
+		if _, err := eng.Run(value.Int(16)); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().MakespanTicks
+	}
+	t1 := makespan(1)
+	for _, procs := range []int{2, 4, 8} {
+		sp := float64(t1) / float64(makespan(procs))
+		if sp < 0.85*float64(procs) {
+			t.Errorf("speedup(%d) = %.2f, want near-linear", procs, sp)
+		}
+	}
+}
+
+func TestParreduceLogCriticalPath(t *testing.T) {
+	// The balanced reduction tree gives an O(log n) critical path: with
+	// unbounded processors the makespan grows far slower than n.
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "slowplus", Arity: 2, Pure: false,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(10000)
+			a := args[0].(value.Int)
+			b := args[1].(value.Int)
+			return a + b, nil
+		},
+	})
+	src := `
+sp(a, b) slowplus(a, b)
+main(n) parreduce(sp, 0, iota(n))
+`
+	makespan := func(n int) int64 {
+		res, err := compile.Compile("red.dlr", Source()+src, compile.Options{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := runtime.New(res.Program, runtime.Config{
+			Mode: runtime.Simulated, Workers: 64,
+			Machine: machine.CrayYMP().WithProcs(64), MaxOps: 50_000_000})
+		v, err := eng.Run(value.Int(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != value.Int(n*(n+1)/2) {
+			t.Fatalf("reduce(%d) = %v", n, v)
+		}
+		return eng.Stats().MakespanTicks
+	}
+	t8, t64 := makespan(8), makespan(64)
+	// 8x the elements, log-depth reduction: critical path grows by ~2x
+	// (3 levels -> 6 levels), far below 8x.
+	ratio := float64(t64) / float64(t8)
+	if ratio > 4 {
+		t.Errorf("makespan ratio 64/8 elements = %.2f, want ~2 (log critical path)", ratio)
+	}
+}
+
+func TestPreludeDeterministicAcrossWorkers(t *testing.T) {
+	src := `
+square(x) mul(x, x)
+plus(a, b) add(a, b)
+main(n) parreduce(plus, 0, parmap(square, iota(n)))
+`
+	var want value.Value
+	for _, workers := range []int{1, 3, 8} {
+		v, _ := run(t, src, nil, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 10_000_000}, value.Int(30))
+		if want == nil {
+			want = v
+		} else if !value.Equal(v, want) {
+			t.Fatalf("workers=%d: %v != %v", workers, v, want)
+		}
+	}
+}
+
+func TestPreludeNameCollisionDetected(t *testing.T) {
+	src := Source() + "\nparmap(a, b) a\nmain() 1\n"
+	_, err := compile.Compile("clash.dlr", src, compile.Options{})
+	if err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("err = %v, want redefinition diagnostic", err)
+	}
+}
+
+func TestTupleConcatBuiltin(t *testing.T) {
+	v, _ := run(t, "main() tuple_concat(<1, 2>, <>, <3>)", nil, realCfg())
+	tup := v.(value.Tuple)
+	if fmt.Sprint(tup) != "<1, 2, 3>" {
+		t.Errorf("tuple_concat = %v", tup)
+	}
+	res, err := compile.Compile("bad.dlr", "main() tuple_concat(1)", compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runtime.New(res.Program, realCfg())
+	if _, err := eng.Run(); err == nil || !strings.Contains(err.Error(), "want tuple") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParfilter(t *testing.T) {
+	src := `
+even(x) is_equal(mod(x, 2), 0)
+main(n) parfilter(even, iota(n))
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(10))
+	tup := v.(value.Tuple)
+	want := []int64{2, 4, 6, 8, 10}
+	if len(tup) != len(want) {
+		t.Fatalf("parfilter = %v", tup)
+	}
+	for i, w := range want {
+		if tup[i] != value.Int(w) {
+			t.Errorf("parfilter[%d] = %v, want %d (order preserved)", i, tup[i], w)
+		}
+	}
+	none, _ := run(t, "odd(x) is_equal(mod(x,2),1)\nmain() parfilter(odd, <2, 4, 6>)", nil, realCfg())
+	if nt := none.(value.Tuple); len(nt) != 0 {
+		t.Errorf("parfilter with no matches = %v", none)
+	}
+}
+
+func TestParfilterComposesWithMapReduce(t *testing.T) {
+	// Sum of squares of the even numbers 1..20.
+	src := `
+even(x) is_equal(mod(x, 2), 0)
+square(x) mul(x, x)
+plus(a, b) add(a, b)
+main(n) parreduce(plus, 0, parmap(square, parfilter(even, iota(n))))
+`
+	v, _ := run(t, src, nil, realCfg(), value.Int(20))
+	if v != value.Int(4+16+36+64+100+144+196+256+324+400) {
+		t.Errorf("got %v", v)
+	}
+}

@@ -1,0 +1,171 @@
+package queens
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func TestCountReference(t *testing.T) {
+	// The classic N-queens counts.
+	want := map[int]int{1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+	for n, w := range want {
+		if got := CountReference(n); got != w {
+			t.Errorf("CountReference(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestProgramTextMatchesPaperShape(t *testing.T) {
+	src := Program(8)
+	for _, want := range []string{
+		"main()", "empty_board()", "show_solutions(do_it(board,1))",
+		"h8 = try(board,queen,8)", "merge(h1,h2,h3,h4,h5,h6,h7,h8)",
+		"is_equal(queen,8)", "do_it(new_board,incr(queen))", "else NULL",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("program missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEightQueens(t *testing.T) {
+	sols, eng, err := Run(8, runtime.Config{Mode: runtime.Real, Workers: 4, MaxOps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 92 {
+		t.Fatalf("got %d solutions, want 92", len(sols))
+	}
+	seen := make(map[string]bool)
+	for _, s := range sols {
+		if !Valid(s, 8) {
+			t.Errorf("invalid solution %v", s)
+		}
+		key := keyOf(s)
+		if seen[key] {
+			t.Errorf("duplicate solution %v", s)
+		}
+		seen[key] = true
+	}
+	if eng.Stats().TailCalls == 0 {
+		t.Error("expected tail calls from the recursive expansion")
+	}
+}
+
+func keyOf(s []int) string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte('0' + v)
+	}
+	return string(b)
+}
+
+func TestSmallBoards(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		sols, _, err := Run(n, runtime.Config{Mode: runtime.Real, Workers: 2, MaxOps: 10_000_000})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(sols) != CountReference(n) {
+			t.Errorf("n=%d: %d solutions, want %d", n, len(sols), CountReference(n))
+		}
+	}
+}
+
+func TestDeterministicSolutionOrder(t *testing.T) {
+	// §8: the computed result is deterministic regardless of the number of
+	// processors and the order of execution — including the ORDER of the
+	// merged solutions, which is fixed by the dataflow.
+	var first []string
+	for _, workers := range []int{1, 2, 8} {
+		sols, _, err := Run(6, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(sols))
+		for i, s := range sols {
+			keys[i] = keyOf(s)
+		}
+		if first == nil {
+			first = keys
+			continue
+		}
+		if len(keys) != len(first) {
+			t.Fatalf("workers=%d: %d solutions vs %d", workers, len(keys), len(first))
+		}
+		for i := range keys {
+			if keys[i] != first[i] {
+				t.Fatalf("workers=%d: solution order differs at %d: %s vs %s", workers, i, keys[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPrioritySchemeReducesLiveActivations(t *testing.T) {
+	// §7: the priority scheme reduces the number of template activations
+	// required, by making activations available for re-use as early as
+	// possible. Measured deterministically on the simulated executor.
+	run := func(disable bool) int64 {
+		_, eng, err := Run(7, runtime.Config{
+			Mode: runtime.Simulated, Workers: 4, MaxOps: 20_000_000,
+			DisablePriorities: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().PeakLive
+	}
+	withPri := run(false)
+	withoutPri := run(true)
+	if withPri > withoutPri {
+		t.Errorf("priorities should not increase peak activations: %d vs %d", withPri, withoutPri)
+	}
+	t.Logf("peak live activations: priorities=%d fifo=%d", withPri, withoutPri)
+}
+
+func TestSimulatedMatchesReal(t *testing.T) {
+	real6, _, err := Run(6, runtime.Config{Mode: runtime.Real, Workers: 4, MaxOps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim6, _, err := Run(6, runtime.Config{Mode: runtime.Simulated, Workers: 4, MaxOps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := solKeys(real6), solKeys(sim6)
+	if strings.Join(a, " ") != strings.Join(b, " ") {
+		t.Error("real and simulated executors disagree on solutions")
+	}
+}
+
+func solKeys(sols [][]int) []string {
+	keys := make([]string, len(sols))
+	for i, s := range sols {
+		keys[i] = keyOf(s)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestCompileProgramRejectsBadN(t *testing.T) {
+	if _, err := CompileProgram(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]int{2, 4, 1, 3}, 4) {
+		t.Error("known solution rejected")
+	}
+	if Valid([]int{1, 2, 3, 4}, 4) {
+		t.Error("diagonal attack accepted")
+	}
+	if Valid([]int{2, 4, 1}, 4) {
+		t.Error("short placement accepted")
+	}
+	if Valid([]int{2, 4, 1, 9}, 4) {
+		t.Error("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package ray
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+func opCall(t *testing.T, reg *operator.Registry, name string, args ...value.Value) (value.Value, error) {
+	t.Helper()
+	op, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %s missing", name)
+	}
+	return op.Fn(operator.NopContext, args)
+}
+
+func TestOperatorMisuse(t *testing.T) {
+	reg, err := Operators(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := value.NewBlock(&value.Opaque{Payload: 3.14, Words: 1})
+	cases := []struct {
+		op   string
+		args []value.Value
+		want string
+	}{
+		{"rt_split", []value.Value{value.Int(1)}, "block argument required"},
+		{"rt_split", []value.Value{wrong}, "expected scene"},
+		{"rt_trace", []value.Value{wrong}, "expected band piece"},
+		{"rt_merge", []value.Value{wrong, wrong, wrong, wrong}, "expected band piece"},
+		{"rt_trace", []value.Value{nil}, "missing block"},
+	}
+	for _, c := range cases {
+		_, err := opCall(t, reg, c.op, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.op, err, c.want)
+		}
+	}
+}
+
+func TestMergeRequiresSceneCarrier(t *testing.T) {
+	reg, err := Operators(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := opCall(t, reg, "rt_setup")
+	pieces, _ := opCall(t, reg, "rt_split", setup)
+	tup := pieces.(value.Tuple)
+	if _, err := opCall(t, reg, "rt_merge", tup[1], tup[1], tup[2], tup[3]); err == nil ||
+		!strings.Contains(err.Error(), "no band carried the scene") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOperatorsRejectBadConfig(t *testing.T) {
+	if _, err := Operators(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := CompileProgram(Config{}); err == nil {
+		t.Error("bad config compiled")
+	}
+}
+
+func TestExtractSceneErrors(t *testing.T) {
+	if _, err := ExtractScene(value.Str("x")); err == nil {
+		t.Error("non-block accepted")
+	}
+	b := value.NewBlock(value.FloatVec{1})
+	if _, err := ExtractScene(b); err == nil {
+		t.Error("non-opaque block accepted")
+	}
+}

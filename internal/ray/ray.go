@@ -1,0 +1,364 @@
+// Package ray is a compact Whitted-style ray tracer coordinated by
+// Delirium — standing in for the 10,000-line ray tracer the paper lists
+// among its applications (§4). The coordination framework is the static
+// fork/join the paper favors for large data structures: the image is split
+// into row bands, each band traced by an independent operator, and the
+// merge returns the assembled image.
+package ray
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// Bands is the parallel width of the decomposition.
+const Bands = 4
+
+// Vec is a 3-component vector.
+type Vec struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec) Add(b Vec) Vec { return Vec{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec) Sub(b Vec) Vec { return Vec{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a * s.
+func (a Vec) Scale(s float64) Vec { return Vec{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the inner product.
+func (a Vec) Dot(b Vec) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Mul returns the component-wise product.
+func (a Vec) Mul(b Vec) Vec { return Vec{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Norm returns the unit vector along a.
+func (a Vec) Norm() Vec {
+	l := math.Sqrt(a.Dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.Scale(1 / l)
+}
+
+// Material describes surface response.
+type Material struct {
+	Color      Vec
+	Diffuse    float64
+	Specular   float64
+	Shininess  float64
+	Reflective float64
+}
+
+// Sphere is a primitive.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Mat    Material
+}
+
+// Plane is an infinite primitive defined by a point and normal.
+type Plane struct {
+	Point  Vec
+	Normal Vec
+	Mat    Material
+	// Checker alternates the color in a 2-unit grid when set.
+	Checker bool
+}
+
+// Light is a point light.
+type Light struct {
+	Pos   Vec
+	Color Vec
+}
+
+// Config describes a render.
+type Config struct {
+	W, H     int
+	MaxDepth int
+	Spheres  int // procedurally placed spheres
+	Seed     int64
+}
+
+// DefaultConfig renders a small scene.
+func DefaultConfig() Config { return Config{W: 64, H: 48, MaxDepth: 3, Spheres: 6, Seed: 7} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.W < 4 || c.H < Bands {
+		return fmt.Errorf("ray: image %dx%d too small", c.W, c.H)
+	}
+	if c.MaxDepth < 0 || c.MaxDepth > 16 {
+		return fmt.Errorf("ray: depth %d out of range", c.MaxDepth)
+	}
+	return nil
+}
+
+// Scene holds the world and the image under construction. Like the retina
+// scene it travels linearly between operators.
+type Scene struct {
+	Cfg     Config
+	Spheres []Sphere
+	Planes  []Plane
+	Lights  []Light
+	Eye     Vec
+	// Image stores RGB triples row-major: Cols = 3*W.
+	Image *value.FloatGrid
+	// Tests accumulates intersection tests (the work measure); parallel
+	// band renders count privately and merge their totals here.
+	Tests int64
+}
+
+// tracer wraps the scene's immutable world with a private test counter so
+// that concurrent band renders never share mutable state.
+type tracer struct {
+	s     *Scene
+	tests int64
+}
+
+// Words sizes the scene for block accounting.
+func (s *Scene) Words() int {
+	return s.Image.Size() + len(s.Spheres)*10 + len(s.Planes)*10 + len(s.Lights)*6
+}
+
+// NewScene builds the deterministic procedural scene: a checkered floor,
+// a mirror sphere, and cfg.Spheres colored spheres in a ring.
+func NewScene(cfg Config) *Scene {
+	s := &Scene{
+		Cfg:   cfg,
+		Eye:   Vec{0, 1.2, -4},
+		Image: value.NewFloatGrid(cfg.H, cfg.W*3),
+	}
+	s.Planes = []Plane{{
+		Point:   Vec{0, 0, 0},
+		Normal:  Vec{0, 1, 0},
+		Mat:     Material{Color: Vec{0.9, 0.9, 0.9}, Diffuse: 0.9, Specular: 0.1, Shininess: 16},
+		Checker: true,
+	}}
+	s.Spheres = []Sphere{{
+		Center: Vec{0, 1.0, 1.5},
+		Radius: 1.0,
+		Mat: Material{Color: Vec{0.95, 0.95, 0.95}, Diffuse: 0.1, Specular: 0.9,
+			Shininess: 64, Reflective: 0.8},
+	}}
+	rng := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		rng = rng*2862933555777941757 + 3037000493
+		return float64(rng>>11) / float64(1<<53)
+	}
+	for i := 0; i < cfg.Spheres; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(maxInt(cfg.Spheres, 1))
+		s.Spheres = append(s.Spheres, Sphere{
+			Center: Vec{2.2 * math.Cos(ang), 0.4 + 0.3*next(), 1.5 + 2.2*math.Sin(ang)},
+			Radius: 0.35 + 0.15*next(),
+			Mat: Material{
+				Color:      Vec{0.3 + 0.7*next(), 0.3 + 0.7*next(), 0.3 + 0.7*next()},
+				Diffuse:    0.8,
+				Specular:   0.4,
+				Shininess:  32,
+				Reflective: 0.15 * next(),
+			},
+		})
+	}
+	s.Lights = []Light{
+		{Pos: Vec{-3, 5, -2}, Color: Vec{0.9, 0.9, 0.9}},
+		{Pos: Vec{4, 3, -3}, Color: Vec{0.4, 0.4, 0.5}},
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hit is an intersection record.
+type hit struct {
+	t      float64
+	point  Vec
+	normal Vec
+	mat    Material
+}
+
+const eps = 1e-6
+
+// intersect finds the nearest primitive along origin+t*dir, t > eps.
+func (tr *tracer) intersect(origin, dir Vec) (hit, bool) {
+	s := tr.s
+	best := hit{t: math.Inf(1)}
+	found := false
+	for i := range s.Spheres {
+		sp := &s.Spheres[i]
+		tr.tests++
+		oc := origin.Sub(sp.Center)
+		b := oc.Dot(dir)
+		c := oc.Dot(oc) - sp.Radius*sp.Radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := -b - sq
+		if t < eps {
+			t = -b + sq
+		}
+		if t < eps || t >= best.t {
+			continue
+		}
+		p := origin.Add(dir.Scale(t))
+		best = hit{t: t, point: p, normal: p.Sub(sp.Center).Norm(), mat: sp.Mat}
+		found = true
+	}
+	for i := range s.Planes {
+		pl := &s.Planes[i]
+		tr.tests++
+		denom := pl.Normal.Dot(dir)
+		if math.Abs(denom) < eps {
+			continue
+		}
+		t := pl.Point.Sub(origin).Dot(pl.Normal) / denom
+		if t < eps || t >= best.t {
+			continue
+		}
+		p := origin.Add(dir.Scale(t))
+		mat := pl.Mat
+		if pl.Checker {
+			cx := int(math.Floor(p.X/2)) + int(math.Floor(p.Z/2))
+			if cx&1 == 0 {
+				mat.Color = Vec{0.2, 0.2, 0.25}
+			}
+		}
+		n := pl.Normal
+		if denom > 0 {
+			n = n.Scale(-1)
+		}
+		best = hit{t: t, point: p, normal: n, mat: mat}
+		found = true
+	}
+	return best, found
+}
+
+// shadowed reports whether the point is occluded toward the light.
+func (tr *tracer) shadowed(p, lpos Vec) bool {
+	dir := lpos.Sub(p)
+	dist := math.Sqrt(dir.Dot(dir))
+	h, ok := tr.intersect(p, dir.Norm())
+	return ok && h.t < dist-eps
+}
+
+// trace returns the color along a ray.
+func (tr *tracer) trace(origin, dir Vec, depth int) Vec {
+	h, ok := tr.intersect(origin, dir)
+	if !ok {
+		// Sky gradient.
+		t := 0.5 * (dir.Y + 1)
+		return Vec{0.4, 0.55, 0.8}.Scale(t).Add(Vec{0.05, 0.05, 0.1})
+	}
+	col := h.mat.Color.Scale(0.08) // ambient
+	for _, l := range tr.s.Lights {
+		if tr.shadowed(h.point, l.Pos) {
+			continue
+		}
+		ldir := l.Pos.Sub(h.point).Norm()
+		diff := h.normal.Dot(ldir)
+		if diff > 0 {
+			col = col.Add(h.mat.Color.Mul(l.Color).Scale(h.mat.Diffuse * diff))
+		}
+		half := ldir.Sub(dir).Norm()
+		spec := h.normal.Dot(half)
+		if spec > 0 {
+			col = col.Add(l.Color.Scale(h.mat.Specular * math.Pow(spec, h.mat.Shininess)))
+		}
+	}
+	if h.mat.Reflective > 0 && depth < tr.s.Cfg.MaxDepth {
+		rdir := dir.Sub(h.normal.Scale(2 * dir.Dot(h.normal)))
+		col = col.Add(tr.trace(h.point, rdir.Norm(), depth+1).Scale(h.mat.Reflective))
+	}
+	return col
+}
+
+// RenderRows traces rows [r0, r1) into the image and returns the number of
+// intersection tests performed (the band's work). Safe to call concurrently
+// for disjoint row ranges: the world is read-only, the counter private, and
+// the written rows disjoint. The caller accounts the returned tests.
+func (s *Scene) RenderRows(r0, r1 int) int64 {
+	tr := &tracer{s: s}
+	w, hgt := s.Cfg.W, s.Cfg.H
+	aspect := float64(w) / float64(hgt)
+	for r := r0; r < r1; r++ {
+		row := s.Image.Row(r)
+		for q := 0; q < w; q++ {
+			u := (float64(q)/float64(w-1)*2 - 1) * aspect
+			v := 1 - float64(r)/float64(hgt-1)*2
+			dir := Vec{u, v + 0.2, 2}.Norm()
+			c := tr.trace(s.Eye, dir, 0)
+			row[q*3+0] = clamp01(c.X)
+			row[q*3+1] = clamp01(c.Y)
+			row[q*3+2] = clamp01(c.Z)
+		}
+	}
+	return tr.tests
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Band returns the i-th of Bands row bands.
+func Band(h, i int) (int, int) {
+	return i * h / Bands, (i + 1) * h / Bands
+}
+
+// Reference renders the scene sequentially — the oracle and speedup
+// baseline.
+func Reference(cfg Config) *Scene {
+	s := NewScene(cfg)
+	s.Tests = s.RenderRows(0, cfg.H)
+	return s
+}
+
+// Checksum sums the image, a cheap equality proxy used by examples.
+func (s *Scene) Checksum() float64 {
+	var t float64
+	for _, v := range s.Image.Cells {
+		t += v
+	}
+	return t
+}
+
+// ImagesEqual compares two rendered images exactly.
+func ImagesEqual(a, b *Scene) bool {
+	if a.Cfg.W != b.Cfg.W || a.Cfg.H != b.Cfg.H {
+		return false
+	}
+	for i := range a.Image.Cells {
+		if a.Image.Cells[i] != b.Image.Cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PPM renders the image as a plain-text PPM file (P3), the examples'
+// output format.
+func (s *Scene) PPM() string {
+	out := fmt.Sprintf("P3\n%d %d\n255\n", s.Cfg.W, s.Cfg.H)
+	for r := 0; r < s.Cfg.H; r++ {
+		row := s.Image.Row(r)
+		for q := 0; q < s.Cfg.W; q++ {
+			out += fmt.Sprintf("%d %d %d\n",
+				int(row[q*3]*255+0.5), int(row[q*3+1]*255+0.5), int(row[q*3+2]*255+0.5))
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package ray
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func testCfg() Config { return Config{W: 40, H: 32, MaxDepth: 2, Spheres: 4, Seed: 5} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{W: 2, H: 32}).Validate(); err == nil {
+		t.Error("tiny image accepted")
+	}
+	if err := (Config{W: 40, H: 32, MaxDepth: 99}).Validate(); err == nil {
+		t.Error("huge depth accepted")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec{1, 2, 3}, Vec{4, 5, 6}
+	if a.Add(b) != (Vec{5, 7, 9}) || b.Sub(a) != (Vec{3, 3, 3}) {
+		t.Error("add/sub wrong")
+	}
+	if a.Dot(b) != 32 || a.Scale(2) != (Vec{2, 4, 6}) || a.Mul(b) != (Vec{4, 10, 18}) {
+		t.Error("dot/scale/mul wrong")
+	}
+	n := Vec{3, 0, 4}.Norm()
+	if d := n.Dot(n); d < 0.999999 || d > 1.000001 {
+		t.Errorf("Norm not unit length: %v", n)
+	}
+	if (Vec{}).Norm() != (Vec{}) {
+		t.Error("zero Norm should stay zero")
+	}
+}
+
+func TestReferenceDeterministicAndLit(t *testing.T) {
+	a := Reference(testCfg())
+	b := Reference(testCfg())
+	if !ImagesEqual(a, b) {
+		t.Fatal("Reference not deterministic")
+	}
+	if a.Checksum() <= 0 {
+		t.Error("image is black")
+	}
+	if a.Tests == 0 {
+		t.Error("no intersection tests counted")
+	}
+	// The image must have variation (not a constant color).
+	first := a.Image.Cells[0]
+	varies := false
+	for _, v := range a.Image.Cells {
+		if v != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("image has no variation")
+	}
+}
+
+func TestDeliriumRenderMatchesReference(t *testing.T) {
+	cfg := testCfg()
+	want := Reference(cfg)
+	for _, workers := range []int{1, 4} {
+		got, eng, err := Run(cfg, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 1_000_000})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !ImagesEqual(got, want) {
+			t.Errorf("workers=%d: image differs from reference", workers)
+		}
+		if got.Tests != want.Tests {
+			t.Errorf("workers=%d: tests=%d, reference=%d", workers, got.Tests, want.Tests)
+		}
+		if eng.Stats().Blocks.Copies != 0 {
+			t.Errorf("workers=%d: %d copies, want 0", workers, eng.Stats().Blocks.Copies)
+		}
+	}
+}
+
+func TestSimulatedRenderSpeedup(t *testing.T) {
+	cfg := testCfg()
+	makespan := func(procs int) int64 {
+		_, eng, err := Run(cfg, runtime.Config{Mode: runtime.Simulated, Workers: procs, MaxOps: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().MakespanTicks
+	}
+	t1, t4 := makespan(1), makespan(4)
+	speedup := float64(t1) / float64(t4)
+	// Band loads vary with scene content (the mirror sphere concentrates
+	// work), so expect clearly-parallel but not perfect scaling.
+	if speedup < 1.8 || speedup > 4.2 {
+		t.Errorf("speedup(4) = %.2f, want parallel scaling", speedup)
+	}
+}
+
+func TestPPMOutput(t *testing.T) {
+	s := Reference(Config{W: 8, H: 8, MaxDepth: 1, Spheres: 1, Seed: 1})
+	ppm := s.PPM()
+	if !strings.HasPrefix(ppm, "P3\n8 8\n255\n") {
+		t.Errorf("PPM header wrong: %q", ppm[:20])
+	}
+	if strings.Count(ppm, "\n") < 8*8 {
+		t.Error("PPM body too short")
+	}
+}
+
+func TestBandCoversImage(t *testing.T) {
+	covered := 0
+	last := 0
+	for i := 0; i < Bands; i++ {
+		r0, r1 := Band(37, i)
+		if r0 != last {
+			t.Errorf("band %d starts at %d, want %d", i, r0, last)
+		}
+		covered += r1 - r0
+		last = r1
+	}
+	if covered != 37 || last != 37 {
+		t.Errorf("bands cover %d rows, want 37", covered)
+	}
+}

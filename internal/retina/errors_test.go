@@ -1,0 +1,107 @@
+package retina
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+func opCall(t *testing.T, reg *operator.Registry, name string, args ...value.Value) (value.Value, error) {
+	t.Helper()
+	op, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %s missing", name)
+	}
+	return op.Fn(operator.NopContext, args)
+}
+
+func TestOperatorMisuse(t *testing.T) {
+	reg, err := Operators(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := value.NewBlock(&value.Opaque{Payload: 42, Words: 1})
+	cases := []struct {
+		op   string
+		args []value.Value
+		want string
+	}{
+		{"target_split", []value.Value{value.Int(1)}, "block argument required"},
+		{"target_split", []value.Value{wrong}, "expected scene"},
+		{"target_bite", []value.Value{wrong}, "expected target piece"},
+		{"convol_split", []value.Value{wrong}, "expected scene"},
+		{"convol_bite", []value.Value{wrong, value.Int(0)}, "expected convolution piece"},
+		{"update_bite", []value.Value{wrong, value.Int(0)}, "expected update piece"},
+		{"pre_update", []value.Value{wrong, wrong, wrong, wrong}, "want target piece"},
+		{"post_up", []value.Value{value.Int(0), wrong, wrong, wrong, wrong}, "want convolution piece"},
+		{"done_up", []value.Value{value.Int(0), wrong, wrong, wrong, wrong}, "want update piece"},
+	}
+	for _, c := range cases {
+		_, err := opCall(t, reg, c.op, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.op, err, c.want)
+		}
+	}
+}
+
+func TestConvolBiteSlabMismatch(t *testing.T) {
+	cfg := testConfig()
+	reg, err := Operators(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene, err := opCall(t, reg, "set_up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces, err := opCall(t, reg, "target_split", scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := pieces.(value.Tuple)
+	merged, err := opCall(t, reg, "pre_update", tup[0], tup[1], tup[2], tup[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps, err := opCall(t, reg, "convol_split", merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp0 := cps.(value.Tuple)[0]
+	// The piece serves slab 0; claiming slab 3 is an internal
+	// inconsistency the operator rejects.
+	if _, err := opCall(t, reg, "convol_bite", cp0, value.Int(3)); err == nil ||
+		!strings.Contains(err.Error(), "does not match piece slab") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConvolSplitExhaustedSlabs(t *testing.T) {
+	cfg := testConfig()
+	reg, _ := Operators(cfg)
+	scene, _ := opCall(t, reg, "set_up")
+	s, err := ExtractScene(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CurSlab = cfg.Slabs // pretend every slab was already convolved
+	if _, err := opCall(t, reg, "convol_split", scene); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOperatorsRejectBadConfig(t *testing.T) {
+	if _, err := Operators(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := CompileProgram(Config{}, V1); err == nil {
+		t.Error("CompileProgram with bad config accepted")
+	}
+	if _, _, err := Run(Config{}, V1, runtime.Config{}); err == nil {
+		t.Error("Run with bad config accepted")
+	}
+}

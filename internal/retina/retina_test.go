@@ -1,0 +1,301 @@
+package retina
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/runtime"
+)
+
+func testConfig() Config {
+	return Config{W: 24, H: 24, K: 3, Slabs: 4, Timesteps: 2,
+		TargetsPerQuarter: 4, TargetWork: 50, Seed: 7}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{W: 4, H: 24, K: 3, Slabs: 4, Timesteps: 1, TargetsPerQuarter: 1},
+		{W: 24, H: 24, K: 4, Slabs: 4, Timesteps: 1, TargetsPerQuarter: 1},
+		{W: 24, H: 24, K: 3, Slabs: 3, Timesteps: 1, TargetsPerQuarter: 1},
+		{W: 24, H: 24, K: 3, Slabs: 4, Timesteps: 0, TargetsPerQuarter: 1},
+		{W: 24, H: 24, K: 3, Slabs: 4, Timesteps: 1, TargetsPerQuarter: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	a := Reference(testConfig())
+	b := Reference(testConfig())
+	if !Equal(a, b) {
+		t.Fatal("Reference is not deterministic")
+	}
+	if a.Time != 2 {
+		t.Errorf("Time = %d, want 2", a.Time)
+	}
+	if a.Response() <= 0 {
+		t.Errorf("Response = %v, want positive motion energy", a.Response())
+	}
+}
+
+func TestKernelNormalized(t *testing.T) {
+	k := makeKernel(5)
+	var mass float64
+	for _, v := range k {
+		if v < 0 {
+			mass -= v
+		} else {
+			mass += v
+		}
+	}
+	if mass < 0.99 || mass > 1.01 {
+		t.Errorf("kernel |mass| = %v, want 1", mass)
+	}
+	// Center-surround: positive peak at center.
+	if k[2*5+2] <= 0 {
+		t.Errorf("kernel center = %v, want positive", k[2*5+2])
+	}
+}
+
+func TestProgramsParse(t *testing.T) {
+	cfg := testConfig()
+	for _, v := range []Version{V1, V2} {
+		if _, err := CompileProgram(cfg, v); err != nil {
+			t.Errorf("version %s: %v", v, err)
+		}
+	}
+}
+
+func TestDeliriumMatchesReference(t *testing.T) {
+	cfg := testConfig()
+	want := Reference(cfg)
+	for _, v := range []Version{V1, V2} {
+		for _, workers := range []int{1, 4} {
+			scene, _, err := Run(cfg, v, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 5_000_000})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", v, workers, err)
+			}
+			if !Equal(scene, want) {
+				t.Errorf("%s workers=%d: scene differs from sequential reference", v, workers)
+			}
+		}
+	}
+}
+
+func TestV1AndV2ComputeSameScene(t *testing.T) {
+	cfg := testConfig()
+	s1, _, err := Run(cfg, V1, runtime.Config{Mode: runtime.Simulated, Workers: 4, MaxOps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Run(cfg, V2, runtime.Config{Mode: runtime.Simulated, Workers: 4, MaxOps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s1, s2) {
+		t.Error("balanced and unbalanced programs disagree")
+	}
+}
+
+func TestNoCopiesWithCarefulDecomposition(t *testing.T) {
+	// §2.1: a Delirium programmer is careful to prevent the copying of
+	// large data structures; this decomposition never triggers
+	// copy-on-write.
+	cfg := testConfig()
+	for _, v := range []Version{V1, V2} {
+		_, eng, err := Run(cfg, v, runtime.Config{Mode: runtime.Real, Workers: 4, MaxOps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if copies := eng.Stats().Blocks.Copies; copies != 0 {
+			t.Errorf("%s: %d copy-on-write events, want 0", v, copies)
+		}
+	}
+}
+
+func TestSimulatedSpeedupShape(t *testing.T) {
+	// The Figure 1 shape: v2 on 4 processors well above v1; 3 procs no
+	// better than 2 (four equal tasks).
+	cfg := Config{W: 32, H: 32, K: 5, Slabs: 4, Timesteps: 2,
+		TargetsPerQuarter: 8, TargetWork: 400, Seed: 3}
+	mach := machine.CrayYMP()
+	makespan := func(v Version, procs int) int64 {
+		_, eng, err := Run(cfg, v, runtime.Config{
+			Mode: runtime.Simulated, Workers: procs, Machine: mach, MaxOps: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().MakespanTicks
+	}
+	base := makespan(V2, 1)
+	s2 := float64(base) / float64(makespan(V2, 2))
+	s3 := float64(base) / float64(makespan(V2, 3))
+	s4 := float64(base) / float64(makespan(V2, 4))
+	if s2 < 1.7 || s2 > 2.05 {
+		t.Errorf("speedup(2) = %.2f, want ~1.9", s2)
+	}
+	if s3 > s2*1.1 {
+		t.Errorf("speedup(3) = %.2f should not improve on speedup(2) = %.2f", s3, s2)
+	}
+	if s4 < 2.9 || s4 > 4.0 {
+		t.Errorf("speedup(4) = %.2f, want ~3.3", s4)
+	}
+	// v1 is capped near two by the sequential post_up.
+	v1base := makespan(V1, 1)
+	v1s4 := float64(v1base) / float64(makespan(V1, 4))
+	if v1s4 > 2.4 {
+		t.Errorf("v1 speedup(4) = %.2f, should be capped near 2", v1s4)
+	}
+	if v1s4 >= s4 {
+		t.Errorf("balancing must help: v1 %.2f vs v2 %.2f", v1s4, s4)
+	}
+}
+
+func TestNodeTimingListingShape(t *testing.T) {
+	// §5.2: in v1 the heavy post_up invocations take roughly as long as
+	// all four convol_bites combined; in v2 update_bites are balanced.
+	cfg := Config{W: 32, H: 32, K: 5, Slabs: 4, Timesteps: 1,
+		TargetsPerQuarter: 8, TargetWork: 100, Seed: 3}
+	_, eng, err := Run(cfg, V1, runtime.Config{
+		Mode: runtime.Simulated, Workers: 1, Timing: true, MaxOps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var convolMax, postMax, postMin int64
+	postMin = 1 << 62
+	for _, e := range eng.Timing().Entries() {
+		switch e.Name {
+		case "convol_bite":
+			if e.Ticks > convolMax {
+				convolMax = e.Ticks
+			}
+		case "post_up":
+			if e.Ticks > postMax {
+				postMax = e.Ticks
+			}
+			if e.Ticks < postMin {
+				postMin = e.Ticks
+			}
+		}
+	}
+	if postMax < 3*convolMax {
+		t.Errorf("heavy post_up (%d) should dwarf one convol_bite (%d)", postMax, convolMax)
+	}
+	if postMin*10 > postMax {
+		t.Errorf("post_up should be bimodal: min %d vs max %d", postMin, postMax)
+	}
+
+	// Balanced version: update_bite within 25%% of convol_bite band times.
+	_, eng2, err := Run(cfg, V2, runtime.Config{
+		Mode: runtime.Simulated, Workers: 1, Timing: true, MaxOps: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upMax, upMin int64
+	upMin = 1 << 62
+	for _, e := range eng2.Timing().Entries() {
+		if e.Name == "update_bite" {
+			if e.Ticks > upMax {
+				upMax = e.Ticks
+			}
+			if e.Ticks < upMin {
+				upMin = e.Ticks
+			}
+		}
+	}
+	if upMin == 0 || float64(upMax)/float64(upMin) > 1.25 {
+		t.Errorf("update_bite imbalance: %d..%d", upMin, upMax)
+	}
+	listing := eng2.Timing().Listing(map[string]bool{"update_bite": true})
+	if !strings.Contains(listing, "call of update_bite took") {
+		t.Errorf("listing format wrong:\n%s", listing)
+	}
+}
+
+func TestRuntimeOverheadUnderThreePercent(t *testing.T) {
+	// §7: runtime overhead contributed less than one percent on the
+	// retina model (and under three percent generally).
+	cfg := Config{W: 64, H: 64, K: 5, Slabs: 4, Timesteps: 2,
+		TargetsPerQuarter: 16, TargetWork: 400, Seed: 3}
+	_, eng, err := Run(cfg, V2, runtime.Config{
+		Mode: runtime.Simulated, Workers: 4, Machine: machine.CrayYMP(), MaxOps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := eng.Stats().OverheadFraction(); f >= 0.03 {
+		t.Errorf("overhead fraction = %.4f, want < 0.03", f)
+	}
+}
+
+func TestSourceIncludesDefines(t *testing.T) {
+	src := Source(testConfig(), V1)
+	for _, want := range []string{"define NUM_ITER 2", "define FINAL_SLAB 4", "define START_SLAB 0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q", want)
+		}
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if V1.String() != "unbalanced" || V2.String() != "balanced" {
+		t.Error("version names wrong")
+	}
+}
+
+func TestExtractSceneErrors(t *testing.T) {
+	if _, err := ExtractScene(nil); err == nil {
+		t.Error("nil value should fail")
+	}
+}
+
+func TestNodeTimingsIndependentOfProcessorCount(t *testing.T) {
+	// §5.2: "The times are roughly the same whether the system is running
+	// on one processor or many." In simulated mode, per-operator tick
+	// multisets are exactly identical across processor counts.
+	cfg := testConfig()
+	collect := func(procs int) map[string][]int64 {
+		_, eng, err := Run(cfg, V2, runtime.Config{
+			Mode: runtime.Simulated, Workers: procs, Timing: true, MaxOps: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]int64)
+		for _, e := range eng.Timing().Entries() {
+			out[e.Name] = append(out[e.Name], e.Ticks)
+		}
+		for _, ticks := range out {
+			sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+		}
+		return out
+	}
+	one, four := collect(1), collect(4)
+	if len(one) != len(four) {
+		t.Fatalf("operator sets differ: %d vs %d", len(one), len(four))
+	}
+	for name, a := range one {
+		b := four[name]
+		if len(a) != len(b) {
+			t.Errorf("%s: %d vs %d invocations", name, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			// Identical up to memory-cost rounding: splitting the same
+			// words between the local and remote accounting buckets can
+			// truncate each bucket separately (±2 ticks).
+			d := a[i] - b[i]
+			if d < -2 || d > 2 {
+				t.Errorf("%s: tick multiset differs at %d: %d vs %d", name, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// continuation says where an activation's result goes: into port-less node
+// `node` of activation `act`, or — when act is nil — out of the program.
+type continuation struct {
+	act  *activation
+	node *graph.Node
+}
+
+// activation is one instance of a template in flight (§7): a pointer back
+// to the template plus exactly enough buffer space to evaluate it once.
+type activation struct {
+	tmpl *graph.Template
+	// buf holds every node's input values, at tmpl.Layout offsets.
+	buf []value.Value
+	// counts[n] is the number of inputs node n still waits for.
+	counts []int32
+	// remaining is the number of nodes that have not completed; the
+	// activation recycles when it reaches zero.
+	remaining int32
+	// cont receives the result node's value.
+	cont continuation
+	// delegated is set when a tail call transferred cont to a child; the
+	// result node then completes without delivering locally. Atomic: the
+	// worker executing the result node writes it while workers completing
+	// other nodes of the same activation read it.
+	delegated atomic.Bool
+	// seq is a deterministic creation stamp used by the simulated
+	// scheduler for tie-breaking.
+	seq int64
+	// readyAt[n], used only by the simulated executor, is the latest
+	// virtual completion time of any delivery to node n: a node may not
+	// start before every producer has finished, even when the producers
+	// were popped (and their values computed) earlier.
+	readyAt []int64
+}
+
+func newActivation(t *graph.Template) *activation {
+	_, total := t.Layout()
+	a := &activation{
+		tmpl:   t,
+		buf:    make([]value.Value, total),
+		counts: make([]int32, len(t.Nodes)),
+	}
+	a.reset()
+	return a
+}
+
+// reset prepares a pooled activation for reuse.
+func (a *activation) reset() {
+	for i := range a.buf {
+		a.buf[i] = nil
+	}
+	for i, n := range a.tmpl.Nodes {
+		a.counts[i] = int32(n.NIn)
+	}
+	a.remaining = int32(len(a.tmpl.Nodes))
+	a.cont = continuation{}
+	a.delegated.Store(false)
+	for i := range a.readyAt {
+		a.readyAt[i] = 0
+	}
+}
+
+// inputs returns the input values of node n (aliasing the buffer).
+func (a *activation) inputs(n *graph.Node) []value.Value {
+	off, _ := a.tmpl.Layout()
+	return a.buf[off[n.ID] : off[n.ID]+n.NIn]
+}
+
+// deliver stores v on one input port and reports whether the node became
+// runnable.
+func (a *activation) deliver(to, port int, v value.Value) bool {
+	off, _ := a.tmpl.Layout()
+	a.buf[off[to]+port] = v
+	return atomic.AddInt32(&a.counts[to], -1) == 0
+}
+
+// transferRefs settles block reference counts after an operator-like node
+// consumed ins and produced result. Each input value carried one reference
+// per occurrence, owned by this node; the result must end up owning one
+// reference per occurrence of each block it contains.
+//
+//   - a block occurrence appearing in both transfers its reference;
+//   - an input occurrence not in the result is released;
+//   - an extra result occurrence of an input block needs a fresh reference;
+//   - a new block's first occurrence is covered by NewBlock's initial
+//     reference, and each further occurrence needs one more.
+func transferRefs(ins []value.Value, result value.Value, st *value.BlockStats) {
+	var inBlocks, resBlocks []*value.Block
+	for _, in := range ins {
+		inBlocks = value.Blocks(in, inBlocks)
+	}
+	resBlocks = value.Blocks(result, resBlocks)
+	if len(inBlocks) == 0 && len(resBlocks) == 0 {
+		return
+	}
+	resCnt := make(map[*value.Block]int, len(resBlocks))
+	for _, b := range resBlocks {
+		resCnt[b]++
+	}
+	wasInput := make(map[*value.Block]bool, len(inBlocks))
+	for _, b := range inBlocks {
+		wasInput[b] = true
+		if resCnt[b] > 0 {
+			resCnt[b]-- // reference transfers input -> result
+		} else {
+			b.Release(st)
+		}
+	}
+	for b, extra := range resCnt {
+		need := extra
+		if !wasInput[b] {
+			need-- // NewBlock supplied the first reference
+		}
+		for i := 0; i < need; i++ {
+			b.Retain(st)
+		}
+	}
+}
+
+// makeWritable rewrites v so that every contained block is exclusively
+// owned, copying shared blocks (§8 rule 2). It consumes the caller's
+// references to replaced blocks and returns the number of words copied.
+func makeWritable(v value.Value, st *value.BlockStats) (value.Value, int) {
+	switch x := v.(type) {
+	case *value.Block:
+		nb, copied := x.Writable(st)
+		if copied {
+			return nb, nb.Size()
+		}
+		return nb, 0
+	case value.Tuple:
+		var words int
+		out := make(value.Tuple, len(x))
+		for i, el := range x {
+			w := 0
+			out[i], w = makeWritable(el, st)
+			words += w
+		}
+		return out, words
+	default:
+		return v, 0
+	}
+}

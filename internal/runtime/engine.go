@@ -1,0 +1,267 @@
+// Package runtime executes coordination graphs — the paper's primary
+// contribution (§7). The compiler converts functions into templates; the
+// run-time system executes template activations, small data structures
+// containing enough buffer space to evaluate the template once and a
+// pointer back to the (immutable, shareable) template. During evaluation
+// the state of the computation is a tree of activations — a parallel
+// generalization of the sequential call stack.
+//
+// Two simple assumptions make operator scheduling cheap:
+//
+//  1. each operator executes only once, and
+//  2. once data is present on an operator's input it stays until the
+//     operator executes and is never present again.
+//
+// A ready queue with three priority levels (normal operators, then
+// non-recursive subgraph expansions, then recursive expansions) keeps the
+// number of live activations small by making activations available for
+// reuse as early as possible.
+//
+// Determinism is enforced through the data contention protocol of §8: all
+// shared memory is passed explicitly between operators as reference-counted
+// blocks, and an operator may destructively modify a block only when it
+// holds the sole reference (the runtime copies otherwise).
+//
+// Two executors share this machinery: a real executor backed by a pool of
+// worker goroutines, and a deterministic simulated executor with a virtual
+// clock and per-processor timing driven by a machine profile.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/value"
+)
+
+// Mode selects an executor.
+type Mode int
+
+// Executor modes.
+const (
+	// Real executes on worker goroutines and measures wall-clock time.
+	Real Mode = iota
+	// Simulated executes deterministically on virtual processors with a
+	// virtual clock driven by charged work units and the machine profile.
+	Simulated
+)
+
+// AffinityPolicy selects the §9.3 locality extension used by the simulated
+// scheduler.
+type AffinityPolicy int
+
+// Affinity policies.
+const (
+	// AffinityNone places every ready operator on the earliest-free
+	// processor.
+	AffinityNone AffinityPolicy = iota
+	// AffinityOperator prefers the processor that last executed the same
+	// operator, unless choosing it would delay the start.
+	AffinityOperator
+	// AffinityData prefers the processor whose cache holds the largest
+	// share of the operator's input blocks.
+	AffinityData
+)
+
+// String names the policy for experiment output.
+func (a AffinityPolicy) String() string {
+	switch a {
+	case AffinityNone:
+		return "none"
+	case AffinityOperator:
+		return "operator"
+	case AffinityData:
+		return "data"
+	default:
+		return fmt.Sprintf("affinity(%d)", int(a))
+	}
+}
+
+// Config controls one execution.
+type Config struct {
+	// Workers is the number of processors (goroutines in Real mode,
+	// virtual processors in Simulated mode). Zero selects the machine
+	// profile's count, or 1.
+	Workers int
+	// Mode selects the executor.
+	Mode Mode
+	// Machine is the profile for Simulated mode; nil selects a Cray Y-MP.
+	Machine *machine.Profile
+	// Timing enables per-node timing collection (the environment's node
+	// timing tool, §5.2).
+	Timing bool
+	// Affinity selects the simulated scheduler's placement policy.
+	Affinity AffinityPolicy
+	// DisablePriorities replaces the three-level ready queue with a single
+	// FIFO level — the ablation of §7's priority scheme.
+	DisablePriorities bool
+	// MaxOps aborts runs exceeding this many operator executions (a guard
+	// against runaway recursion in tests); zero means no limit.
+	MaxOps int64
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.Machine != nil {
+		return c.Machine.Procs
+	}
+	return 1
+}
+
+func (c Config) profile() *machine.Profile {
+	if c.Machine != nil {
+		return c.Machine
+	}
+	return machine.CrayYMP()
+}
+
+// Priority levels of the ready queue, in decreasing order of priority (§7).
+type Priority int
+
+// Ready-queue priority levels.
+const (
+	// PriNormal: ordinary operators (and tuple/closure plumbing).
+	PriNormal Priority = iota
+	// PriCall: non-recursive subgraph expansions.
+	PriCall
+	// PriRecursive: recursive subgraph expansions, kept back so existing
+	// activations drain (and recycle) before new recursion unfolds.
+	PriRecursive
+	numPriorities
+)
+
+// Engine executes one coordination-graph program.
+type Engine struct {
+	prog *graph.Program
+	cfg  Config
+
+	stats   Stats
+	timing  *TimingLog
+	pools   sync.Map // *graph.Template -> *sync.Pool
+	started atomic.Bool
+	stopped atomic.Bool
+	errOnce sync.Once
+	runErr  error
+
+	result atomic.Value // value.Value
+	done   chan struct{}
+
+	maxOps int64
+}
+
+// New prepares an engine for prog under cfg. The same program can be run by
+// many engines; templates are immutable.
+func New(prog *graph.Program, cfg Config) *Engine {
+	e := &Engine{prog: prog, cfg: cfg, done: make(chan struct{}), maxOps: cfg.MaxOps}
+	if cfg.Timing {
+		e.timing = NewTimingLog()
+	}
+	return e
+}
+
+// ErrNoMain is returned when the program has no main function.
+var ErrNoMain = errors.New("delirium: program has no main function")
+
+// ErrAlreadyRun is returned when Run is invoked twice on one engine.
+var ErrAlreadyRun = errors.New("delirium: engine already ran; create a new engine per execution")
+
+// Run executes the program's main function with the given arguments and
+// returns its value. Run may be called once per engine.
+func (e *Engine) Run(args ...value.Value) (value.Value, error) {
+	if !e.started.CompareAndSwap(false, true) {
+		return nil, ErrAlreadyRun
+	}
+	main := e.prog.Main
+	if main == nil {
+		return nil, ErrNoMain
+	}
+	if len(args) != main.NParams {
+		return nil, fmt.Errorf("delirium: main expects %d arguments, got %d", main.NParams, len(args))
+	}
+	switch e.cfg.Mode {
+	case Simulated:
+		return e.runSimulated(args)
+	default:
+		return e.runReal(args)
+	}
+}
+
+// Stats returns execution statistics; call after Run returns.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Timing returns the node timing log, or nil when timing was disabled.
+func (e *Engine) Timing() *TimingLog { return e.timing }
+
+// fail records the first error and stops the run.
+func (e *Engine) fail(err error) {
+	e.errOnce.Do(func() {
+		e.runErr = err
+		e.stopped.Store(true)
+	})
+}
+
+// finish records the final result.
+func (e *Engine) finish(v value.Value) {
+	if v == nil {
+		v = value.Null{}
+	}
+	e.result.Store(v)
+	e.stopped.Store(true)
+}
+
+// acquire gets a recycled or fresh activation for t.
+func (e *Engine) acquire(t *graph.Template) *activation {
+	pi, ok := e.pools.Load(t)
+	if !ok {
+		pi, _ = e.pools.LoadOrStore(t, &sync.Pool{})
+	}
+	pool := pi.(*sync.Pool)
+	if a, _ := pool.Get().(*activation); a != nil {
+		atomic.AddInt64(&e.stats.ActivationsReused, 1)
+		a.reset()
+		return a
+	}
+	atomic.AddInt64(&e.stats.ActivationsAllocated, 1)
+	return newActivation(t)
+}
+
+// release returns a finished activation to its template's pool.
+func (e *Engine) release(a *activation) {
+	if pi, ok := e.pools.Load(a.tmpl); ok {
+		pi.(*sync.Pool).Put(a)
+	}
+}
+
+// classify assigns the ready-queue priority for a runnable node. For
+// dynamic closure calls the closure value is already on input 0, so the
+// callee's recursion flag is known.
+func (e *Engine) classify(a *activation, n *graph.Node) Priority {
+	if e.cfg.DisablePriorities {
+		return PriNormal
+	}
+	switch n.Kind {
+	case graph.CallNode:
+		if n.Callee != nil && n.Callee.Recursive {
+			return PriRecursive
+		}
+		return PriCall
+	case graph.CondNode:
+		return PriCall
+	case graph.CallClosureNode:
+		off, _ := a.tmpl.Layout()
+		if cl, ok := a.buf[off[n.ID]].(*value.Closure); ok {
+			if t, ok := cl.Fn.(*graph.Template); ok && t.Recursive {
+				return PriRecursive
+			}
+		}
+		return PriCall
+	default:
+		return PriNormal
+	}
+}

@@ -1,0 +1,340 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// worker is the execution context shared by both executors: processor
+// identity, the per-execution charge accumulator operators write through
+// operator.Context, and the scheduling callback the executor provides.
+type worker struct {
+	e    *Engine
+	proc int
+
+	// sched is called for every node that becomes runnable while this
+	// worker executes.
+	sched func(a *activation, n *graph.Node)
+	// delivered, when non-nil (simulated mode), is called for every value
+	// delivery so the scheduler can stamp each consumer's earliest start
+	// with the producer's completion time.
+	delivered func(a *activation, nodeID int)
+
+	// charge accumulates Context.Charge units of the node being executed.
+	charge int64
+	// localWords/remoteWords price the executed node's block traffic for
+	// the simulated machine's memory model (copied words count as local
+	// writes).
+	localWords, remoteWords int64
+}
+
+// Charge implements operator.Context.
+func (w *worker) Charge(units int64) {
+	w.charge += units
+	atomic.AddInt64(&w.e.stats.ChargedUnits, units)
+}
+
+// BlockStats implements operator.Context.
+func (w *worker) BlockStats() *value.BlockStats { return &w.e.stats.Blocks }
+
+// Processor implements operator.Context.
+func (w *worker) Processor() int { return w.proc }
+
+// runtimeError decorates an error with the failing node's source position.
+func runtimeError(n *graph.Node, err error) error {
+	return fmt.Errorf("%s: %s: %w", n.Pos, n.Name, err)
+}
+
+// callOperator invokes an operator, converting a panic in the embedded Go
+// code into an ordinary execution error. Operators are user code; a bug in
+// one sub-computation must fail the program deterministically rather than
+// crash the whole engine and its sibling workers.
+func callOperator(w *worker, n *graph.Node, ins []value.Value) (result value.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("operator panicked: %v", r)
+		}
+	}()
+	return n.Op.Fn(w, ins)
+}
+
+// execNode runs one runnable node. It performs the destructive-argument
+// copy protocol, executes the node, settles block references, and delivers
+// the produced value (or spawns a child activation for subgraph
+// expansions).
+func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
+	ops := atomic.AddInt64(&e.stats.OpsExecuted, 1)
+	if e.maxOps > 0 && ops > e.maxOps {
+		return fmt.Errorf("delirium: operation budget of %d executions exceeded", e.maxOps)
+	}
+	w.charge, w.localWords, w.remoteWords = 0, 0, 0
+	ins := a.inputs(n)
+
+	switch n.Kind {
+	case graph.OpNode:
+		atomic.AddInt64(&e.stats.OperatorsRun, 1)
+		// Price and re-home the input blocks before execution.
+		if e.cfg.Mode == Simulated {
+			w.touchInputs(ins)
+		}
+		// Enforce the sole-reference rule for destructive arguments.
+		for i := range ins {
+			if n.Op.MayModify(i) {
+				nv, copied := makeWritable(ins[i], &e.stats.Blocks)
+				ins[i] = nv
+				w.localWords += int64(copied)
+			}
+		}
+		result, err := callOperator(w, n, ins)
+		if err != nil {
+			return runtimeError(n, err)
+		}
+		if result == nil {
+			result = value.Null{}
+		}
+		if e.cfg.Mode == Simulated {
+			w.homeValue(result)
+		}
+		transferRefs(ins, result, &e.stats.Blocks)
+		e.complete(w, a, n, result)
+		return nil
+
+	case graph.TupleNode:
+		result := make(value.Tuple, len(ins))
+		copy(result, ins)
+		// Every input occurrence appears in the result: pure transfer.
+		e.complete(w, a, n, result)
+		return nil
+
+	case graph.DetupleNode:
+		tup, ok := ins[0].(value.Tuple)
+		if !ok {
+			return runtimeError(n, fmt.Errorf("decomposing %s value; multiple-value package required", ins[0].Kind()))
+		}
+		if n.Index >= len(tup) {
+			return runtimeError(n, fmt.Errorf("package has %d values, need %d", len(tup), n.Index+1))
+		}
+		result := tup[n.Index]
+		if n.SpreadConsumer {
+			// The producer split ownership: this node owns exactly element
+			// Index; the designated sibling releases uncovered elements.
+			if n.CoveredIdx != nil {
+				for j, el := range tup {
+					if !intsContain(n.CoveredIdx, j) {
+						value.Release(el, &e.stats.Blocks)
+					}
+				}
+			}
+		} else {
+			transferRefs(ins, result, &e.stats.Blocks)
+		}
+		e.complete(w, a, n, result)
+		return nil
+
+	case graph.MakeClosureNode:
+		env := make([]value.Value, len(ins))
+		copy(env, ins)
+		result := &value.Closure{Fn: n.Callee, Env: env}
+		e.complete(w, a, n, result)
+		return nil
+
+	case graph.CallNode:
+		args := make([]value.Value, len(ins))
+		copy(args, ins)
+		return e.expand(w, a, n, n.Callee, args)
+
+	case graph.CallClosureNode:
+		cl, ok := ins[0].(*value.Closure)
+		if !ok {
+			return runtimeError(n, fmt.Errorf("calling %s value; function required", ins[0].Kind()))
+		}
+		callee, ok := cl.Fn.(*graph.Template)
+		if !ok {
+			return runtimeError(n, fmt.Errorf("closure has no executable template"))
+		}
+		if got := len(ins) - 1; got != callee.ParamCount() {
+			return runtimeError(n, fmt.Errorf("function %s expects %d arguments, got %d",
+				callee.Name, callee.ParamCount(), got))
+		}
+		args := make([]value.Value, 0, len(ins)-1+len(cl.Env))
+		args = append(args, ins[1:]...)
+		for _, envV := range cl.Env {
+			value.Retain(envV, &e.stats.Blocks) // the child owns its copy
+			args = append(args, envV)
+		}
+		value.Release(cl, &e.stats.Blocks) // drops the closure's env refs
+		return e.expand(w, a, n, callee, args)
+
+	case graph.CondNode:
+		truth, err := value.Truthy(ins[0])
+		if err != nil {
+			return runtimeError(n, err)
+		}
+		value.Release(ins[0], &e.stats.Blocks)
+		branch := n.Else
+		if truth {
+			branch = n.Then
+		}
+		args := make([]value.Value, len(ins)-1)
+		copy(args, ins[1:])
+		return e.expand(w, a, n, branch, args)
+
+	default:
+		return runtimeError(n, fmt.Errorf("internal: node kind %s reached the scheduler", n.Kind))
+	}
+}
+
+// expand creates a child activation of callee for subgraph-expansion node n
+// (call, call-closure, or conditional branch). Whenever the expanding node
+// is the template's result and feeds no other consumer, the parent's
+// continuation transfers to the child and the parent's buffers become
+// reusable immediately — the runtime's O(1) execution of tail recursion
+// (§7). This applies to conditional expansions too, so the hidden loop
+// templates that iterate lowers to keep a constant number of live
+// activations regardless of trip count.
+func (e *Engine) expand(w *worker, a *activation, n *graph.Node, callee *graph.Template, args []value.Value) error {
+	if callee == nil {
+		return runtimeError(n, fmt.Errorf("internal: unlinked callee"))
+	}
+	if len(args) != callee.NumArgs() {
+		return runtimeError(n, fmt.Errorf("internal: %s expects %d activation arguments, got %d",
+			callee.Name, callee.NumArgs(), len(args)))
+	}
+	child := e.acquire(callee)
+	e.stats.noteLive(1, int64(callee.ActivationWords()))
+	if len(n.Out) == 0 && n.ID == a.tmpl.Result && !a.delegated.Load() {
+		child.cont = a.cont
+		a.delegated.Store(true)
+		atomic.AddInt64(&e.stats.TailCalls, 1)
+		e.initActivation(w, child, args)
+		e.finishNode(a)
+		return nil
+	}
+	child.cont = continuation{act: a, node: n}
+	e.initActivation(w, child, args)
+	return nil
+}
+
+// initActivation seeds parameters and constants (never scheduled) and
+// enqueues every node that is runnable from the start.
+func (e *Engine) initActivation(w *worker, a *activation, args []value.Value) {
+	for _, n := range a.tmpl.Nodes {
+		if n.NIn != 0 {
+			continue
+		}
+		switch n.Kind {
+		case graph.ParamNode:
+			e.complete(w, a, n, args[n.Index])
+		case graph.ConstNode:
+			e.complete(w, a, n, n.Const)
+		default:
+			w.sched(a, n)
+		}
+	}
+}
+
+// complete publishes node n's value: it settles fan-out references,
+// delivers to each consumer port, and — when n is the template's result —
+// bubbles the value through the continuation chain iteratively.
+func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value) {
+	for {
+		if n.Spread {
+			// Ownership of the package's elements is split among the
+			// consuming detuple nodes; no retention multiplier applies.
+			for _, edge := range n.Out {
+				if w.delivered != nil {
+					w.delivered(a, edge.To)
+				}
+				if a.deliver(edge.To, edge.Port, v) {
+					w.sched(a, a.tmpl.Nodes[edge.To])
+				}
+			}
+			e.finishNode(a) // Spread producers are never the result node
+			return
+		}
+		isResult := n.ID == a.tmpl.Result && !a.delegated.Load()
+		consumers := len(n.Out)
+		if isResult {
+			consumers++
+		}
+		switch {
+		case consumers == 0:
+			value.Release(v, &e.stats.Blocks)
+		default:
+			for i := 1; i < consumers; i++ {
+				value.Retain(v, &e.stats.Blocks)
+			}
+		}
+		for _, edge := range n.Out {
+			if w.delivered != nil {
+				w.delivered(a, edge.To)
+			}
+			if a.deliver(edge.To, edge.Port, v) {
+				w.sched(a, a.tmpl.Nodes[edge.To])
+			}
+		}
+		if !isResult {
+			e.finishNode(a)
+			return
+		}
+		cont := a.cont
+		e.finishNode(a)
+		if cont.act == nil {
+			e.finish(v)
+			return
+		}
+		a, n = cont.act, cont.node
+	}
+}
+
+// finishNode retires one node; the last retirement recycles the activation.
+func (e *Engine) finishNode(a *activation) {
+	if atomic.AddInt32(&a.remaining, -1) == 0 {
+		e.stats.noteLive(-1, -int64(a.tmpl.ActivationWords()))
+		e.release(a)
+	}
+}
+
+// intsContain reports membership in a small sorted slice.
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+		if x > v {
+			return false
+		}
+	}
+	return false
+}
+
+// touchInputs prices the block traffic of an OpNode's inputs for the
+// simulated memory model and re-homes the blocks to this processor.
+func (w *worker) touchInputs(ins []value.Value) {
+	proc := int32(w.proc)
+	var blocks []*value.Block
+	for _, in := range ins {
+		blocks = value.Blocks(in, blocks)
+	}
+	for _, b := range blocks {
+		if aff := b.Affinity(); aff == value.NoAffinity || aff == proc {
+			w.localWords += int64(b.Size())
+		} else {
+			w.remoteWords += int64(b.Size())
+		}
+		b.SetAffinity(proc)
+	}
+}
+
+// homeValue assigns freshly produced blocks to this processor's cache.
+func (w *worker) homeValue(v value.Value) {
+	proc := int32(w.proc)
+	for _, b := range value.Blocks(v, nil) {
+		if b.Affinity() == value.NoAffinity {
+			b.SetAffinity(proc)
+		}
+	}
+}

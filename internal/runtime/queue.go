@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// task is one runnable node of one activation.
+type task struct {
+	act  *activation
+	node *graph.Node
+}
+
+// fifo is a queue level with O(1) amortized push/pop.
+type fifo struct {
+	items []task
+	head  int
+}
+
+func (f *fifo) push(t task) { f.items = append(f.items, t) }
+
+func (f *fifo) empty() bool { return f.head >= len(f.items) }
+
+func (f *fifo) pop() task {
+	t := f.items[f.head]
+	f.items[f.head] = task{} // release references
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return t
+}
+
+// readyQueue is the real executor's three-level priority ready queue (§7):
+// workers pop normal operators before non-recursive expansions before
+// recursive expansions, which drains existing activations early and makes
+// them available for reuse.
+type readyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	levels [numPriorities]fifo
+	closed bool
+}
+
+func newReadyQueue() *readyQueue {
+	q := &readyQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a task at the given priority level.
+func (q *readyQueue) Push(t task, pri Priority) {
+	q.mu.Lock()
+	q.levels[pri].push(t)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop blocks for the highest-priority available task. ok is false once the
+// queue is closed and drained of nothing — closure abandons queued tasks by
+// design (close happens only at quiescence or on error).
+func (q *readyQueue) Pop() (t task, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return task{}, false
+		}
+		for pri := range q.levels {
+			if !q.levels[pri].empty() {
+				return q.levels[pri].pop(), true
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close wakes every waiting worker; subsequent Pops fail.
+func (q *readyQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

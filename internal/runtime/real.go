@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// runReal executes the program on a pool of worker goroutines — one per
+// configured processor — sharing the three-level priority ready queue.
+//
+// Termination: the run ends at quiescence (no scheduled work left), which
+// is reached after the final result is produced and any straggling
+// side-effecting operators have drained. If quiescence arrives without a
+// result, the coordination graph deadlocked (a compiler bug, since sema
+// rejects circular data dependencies) and the run fails. Errors abort
+// immediately, abandoning queued work.
+func (e *Engine) runReal(args []value.Value) (value.Value, error) {
+	nw := e.cfg.workers()
+	q := newReadyQueue()
+	var outstanding int64
+
+	sched := func(a *activation, n *graph.Node) {
+		atomic.AddInt64(&outstanding, 1)
+		q.Push(task{act: a, node: n}, e.classify(a, n))
+	}
+
+	start := time.Now()
+	root := e.acquire(e.prog.Main)
+	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
+	boot := &worker{e: e, proc: 0, sched: sched}
+	e.initActivation(boot, root, args)
+
+	if atomic.LoadInt64(&outstanding) == 0 {
+		// The whole program evaluated during seeding (constant main) or
+		// nothing is runnable at all.
+		e.stats.RealNanos = int64(time.Since(start))
+		return e.takeResult()
+	}
+
+	var wg sync.WaitGroup
+	for proc := 0; proc < nw; proc++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			w := &worker{e: e, proc: proc, sched: sched}
+			for {
+				t, ok := q.Pop()
+				if !ok {
+					return
+				}
+				var t0 time.Time
+				if e.timing != nil {
+					t0 = time.Now()
+				}
+				if err := e.execNode(w, t.act, t.node); err != nil {
+					e.fail(err)
+					q.Close()
+					return
+				}
+				if e.timing != nil && t.node.Kind == graph.OpNode {
+					e.timing.Add(TimingEntry{
+						Name:     t.node.Name,
+						Template: t.act.tmpl.Name,
+						Proc:     proc,
+						Start:    int64(t0.Sub(start)),
+						Ticks:    int64(time.Since(t0)),
+					})
+				}
+				if atomic.AddInt64(&outstanding, -1) == 0 {
+					if !e.stopped.Load() {
+						e.fail(fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)"))
+					}
+					q.Close()
+					return
+				}
+			}
+		}(proc)
+	}
+	wg.Wait()
+	e.stats.RealNanos = int64(time.Since(start))
+	return e.takeResult()
+}
+
+// takeResult extracts the final value or error after a run ends.
+func (e *Engine) takeResult() (value.Value, error) {
+	if e.runErr != nil {
+		return nil, e.runErr
+	}
+	v, _ := e.result.Load().(value.Value)
+	if v == nil {
+		return nil, fmt.Errorf("delirium: program produced no result")
+	}
+	return v, nil
+}

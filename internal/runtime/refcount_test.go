@@ -1,0 +1,337 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+func TestTransferRefsPassThrough(t *testing.T) {
+	var st value.BlockStats
+	b := value.NewBlockStats(value.FloatVec{1}, &st)
+	// Operator returned its input unchanged: the reference transfers.
+	transferRefs([]value.Value{b}, b, &st)
+	if b.Refs() != 1 {
+		t.Errorf("Refs = %d, want 1 (transferred)", b.Refs())
+	}
+}
+
+func TestTransferRefsConsumed(t *testing.T) {
+	var st value.BlockStats
+	b := value.NewBlockStats(value.FloatVec{1}, &st)
+	// Operator consumed the block and returned an atom.
+	transferRefs([]value.Value{b, value.Int(3)}, value.Int(7), &st)
+	if b.Refs() != 0 {
+		t.Errorf("Refs = %d, want 0 (released)", b.Refs())
+	}
+	if st.Freed != 1 {
+		t.Errorf("Freed = %d, want 1", st.Freed)
+	}
+}
+
+func TestTransferRefsNewBlock(t *testing.T) {
+	var st value.BlockStats
+	in := value.NewBlockStats(value.FloatVec{1}, &st)
+	out := value.NewBlockStats(value.FloatVec{2}, &st)
+	// Operator consumed in and produced a fresh block: in released, out
+	// keeps its NewBlock reference.
+	transferRefs([]value.Value{in}, out, &st)
+	if in.Refs() != 0 || out.Refs() != 1 {
+		t.Errorf("refs = %d, %d; want 0, 1", in.Refs(), out.Refs())
+	}
+}
+
+func TestTransferRefsDuplicatedInResult(t *testing.T) {
+	var st value.BlockStats
+	b := value.NewBlockStats(value.FloatVec{1}, &st)
+	// Operator returned the same input block twice: one transfer plus one
+	// fresh reference.
+	transferRefs([]value.Value{b}, value.Tuple{b, b}, &st)
+	if b.Refs() != 2 {
+		t.Errorf("Refs = %d, want 2", b.Refs())
+	}
+}
+
+func TestTransferRefsNewBlockDuplicated(t *testing.T) {
+	var st value.BlockStats
+	out := value.NewBlockStats(value.FloatVec{1}, &st)
+	// A fresh block appearing twice in the result needs one extra ref
+	// beyond NewBlock's initial one.
+	transferRefs(nil, value.Tuple{out, out}, &st)
+	if out.Refs() != 2 {
+		t.Errorf("Refs = %d, want 2", out.Refs())
+	}
+}
+
+func TestTransferRefsFanInSameBlock(t *testing.T) {
+	var st value.BlockStats
+	b := value.NewBlockStats(value.FloatVec{1}, &st)
+	b.Retain(&st) // block delivered on two input ports: two references
+	// Result keeps one occurrence: one ref transfers, one releases.
+	transferRefs([]value.Value{b, b}, b, &st)
+	if b.Refs() != 1 {
+		t.Errorf("Refs = %d, want 1", b.Refs())
+	}
+}
+
+// leakCheck runs a program and verifies that every allocated block was
+// released except those still reachable from the result value.
+func leakCheck(t *testing.T, src string, reg *operator.Registry, cfg Config, args ...value.Value) {
+	t.Helper()
+	g := compile(t, src, reg)
+	e := New(g, cfg)
+	v, err := e.Run(args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	live := int64(len(value.Blocks(v, nil)))
+	st := &e.Stats().Blocks
+	if st.Allocated-st.Freed != live {
+		t.Errorf("block leak: allocated %d, freed %d, reachable from result %d",
+			st.Allocated, st.Freed, live)
+	}
+	// Every reachable block must hold at least one reference.
+	for _, b := range value.Blocks(v, nil) {
+		if b.Refs() < 1 {
+			t.Errorf("result block over-released: %v", b)
+		}
+	}
+}
+
+// blockOps is a registry with operators that create, transform, consume,
+// and duplicate blocks in various shapes, for leak testing.
+func blockOps() *operator.Registry {
+	r := operator.NewRegistry(operator.Builtins())
+	r.MustRegister(&operator.Operator{
+		Name: "mkblock", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			n := int(args[0].(value.Int))
+			return value.NewBlockStats(make(value.FloatVec, n), ctx.BlockStats()), nil
+		},
+	})
+	r.MustRegister(&operator.Operator{
+		Name: "blocksum", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			b, ok := args[0].(*value.Block)
+			if !ok {
+				return nil, fmt.Errorf("blocksum: want block")
+			}
+			var s float64
+			for _, x := range b.Data().(value.FloatVec) {
+				s += x
+			}
+			ctx.Charge(int64(b.Size()))
+			return value.Float(s), nil
+		},
+	})
+	r.MustRegister(&operator.Operator{
+		Name: "fill", Arity: 2, Destructive: []bool{true, false},
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			b := args[0].(*value.Block)
+			x := float64(args[1].(value.Int))
+			vec := b.Data().(value.FloatVec)
+			for i := range vec {
+				vec[i] = x
+			}
+			ctx.Charge(int64(len(vec)))
+			return args[0], nil
+		},
+	})
+	r.MustRegister(&operator.Operator{
+		Name: "dup", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			return value.Tuple{args[0], args[0]}, nil
+		},
+	})
+	return r
+}
+
+func TestNoLeakSimpleConsume(t *testing.T) {
+	leakCheck(t, "main() blocksum(fill(mkblock(64), 3))", blockOps(),
+		Config{Mode: Real, Workers: 2, MaxOps: 100000})
+}
+
+func TestNoLeakFanOut(t *testing.T) {
+	// A block used by several readers; none destructive.
+	src := `
+main()
+  let b = mkblock(32)
+      f = fill(b, 2)
+      s1 = blocksum(f)
+      s2 = blocksum(f)
+  in add(s1, s2)
+`
+	// f fans out to two consumers; blocksum reads without consuming
+	// ownership of... blocksum does consume its reference (block not in
+	// result). Both paths release.
+	leakCheck(t, src, blockOps(), Config{Mode: Real, Workers: 4, MaxOps: 100000})
+}
+
+func TestCopyOnWriteWhenShared(t *testing.T) {
+	// Two destructive writers race for the same block: exactly one copy.
+	src := `
+main()
+  let b = mkblock(16)
+      w1 = fill(b, 1)
+      w2 = fill(b, 2)
+  in add(blocksum(w1), blocksum(w2))
+`
+	g := compile(t, src, blockOps())
+	e := New(g, Config{Mode: Real, Workers: 4, MaxOps: 100000})
+	v, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism despite the shared writer: 16*1 + 16*2.
+	if v != value.Float(48) {
+		t.Errorf("result = %v, want 48", v)
+	}
+	if copies := e.Stats().Blocks.Copies; copies != 1 {
+		t.Errorf("Copies = %d, want exactly 1", copies)
+	}
+}
+
+func TestCopyOnWriteDeterministicAcrossRuns(t *testing.T) {
+	src := `
+main()
+  let b = mkblock(8)
+      w1 = fill(b, 5)
+      w2 = fill(b, 9)
+  in sub(blocksum(w1), blocksum(w2))
+`
+	g := compile(t, src, blockOps())
+	var want value.Value
+	for trial := 0; trial < 20; trial++ {
+		e := New(g, Config{Mode: Real, Workers: 4, MaxOps: 100000})
+		v, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = v
+		} else if !value.Equal(v, want) {
+			t.Fatalf("trial %d: %v != %v (nondeterministic despite CoW)", trial, v, want)
+		}
+	}
+	if want != value.Float(8*5-8*9) {
+		t.Errorf("result = %v, want %v", want, 8*5-8*9)
+	}
+}
+
+func TestNoLeakTupleSpread(t *testing.T) {
+	reg := blockOps()
+	reg.MustRegister(&operator.Operator{
+		Name: "pairblocks", Arity: 0,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			return value.Tuple{
+				value.NewBlockStats(value.FloatVec{1, 2}, ctx.BlockStats()),
+				value.NewBlockStats(value.FloatVec{3}, ctx.BlockStats()),
+				value.NewBlockStats(value.FloatVec{4, 5, 6}, ctx.BlockStats()),
+			}, nil
+		},
+	})
+	// Only two of three elements are decomposed: the spread designee must
+	// release the third.
+	src := `
+main()
+  let <a, b> = pairblocks()
+  in add(blocksum(a), blocksum(b))
+`
+	leakCheck(t, src, reg, Config{Mode: Real, Workers: 2, MaxOps: 100000})
+}
+
+func TestSpreadKeepsPiecesExclusive(t *testing.T) {
+	reg := blockOps()
+	reg.MustRegister(&operator.Operator{
+		Name: "fourblocks", Arity: 0,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			out := make(value.Tuple, 4)
+			for i := range out {
+				out[i] = value.NewBlockStats(make(value.FloatVec, 8), ctx.BlockStats())
+			}
+			return out, nil
+		},
+	})
+	src := `
+main()
+  let <a, b, c, d> = fourblocks()
+      ra = fill(a, 1)
+      rb = fill(b, 2)
+      rc = fill(c, 3)
+      rd = fill(d, 4)
+  in add(add(blocksum(ra), blocksum(rb)), add(blocksum(rc), blocksum(rd)))
+`
+	for trial := 0; trial < 10; trial++ {
+		g := compile(t, src, reg)
+		e := New(g, Config{Mode: Real, Workers: 4, MaxOps: 100000})
+		v, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != value.Float(8*1+8*2+8*3+8*4) {
+			t.Fatalf("result = %v", v)
+		}
+		if copies := e.Stats().Blocks.Copies; copies != 0 {
+			t.Fatalf("trial %d: %d copies; decomposition pieces must stay exclusive", trial, copies)
+		}
+	}
+}
+
+func TestNoLeakThroughClosures(t *testing.T) {
+	src := `
+main()
+  let b = mkblock(16)
+      f = fill(b, 1)
+      use(x) blocksum(x)
+  in use(f)
+`
+	leakCheck(t, src, blockOps(), Config{Mode: Real, Workers: 2, MaxOps: 100000})
+}
+
+func TestNoLeakInLoops(t *testing.T) {
+	// A block is rebuilt every loop iteration; all intermediates freed.
+	src := `
+main(n)
+  iterate
+  {
+    i = 0, incr(i)
+    total = 0.0, add(total, blocksum(fill(mkblock(8), i)))
+  } while lt(i, n),
+  result total
+`
+	leakCheck(t, src, blockOps(), Config{Mode: Real, Workers: 2, MaxOps: 1000000}, value.Int(50))
+}
+
+func TestNoLeakConditionalArms(t *testing.T) {
+	// Blocks flow into a conditional; only one arm consumes them, but the
+	// untaken arm's inputs must still be released.
+	src := `
+main(flag)
+  let b = fill(mkblock(4), 7)
+  in if flag then blocksum(b) else 0.0
+`
+	leakCheck(t, src, blockOps(), Config{Mode: Real, Workers: 2, MaxOps: 100000}, value.Bool(true))
+	leakCheck(t, src, blockOps(), Config{Mode: Real, Workers: 2, MaxOps: 100000}, value.Bool(false))
+}
+
+func TestResultBlockSurvives(t *testing.T) {
+	src := "main() fill(mkblock(4), 2)"
+	g := compile(t, src, blockOps())
+	e := New(g, Config{Mode: Real, Workers: 1})
+	v, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := v.(*value.Block)
+	if !ok {
+		t.Fatalf("result = %v", v)
+	}
+	if b.Refs() != 1 {
+		t.Errorf("result block Refs = %d, want 1 (owned by caller)", b.Refs())
+	}
+	if b.Data().(value.FloatVec)[0] != 2 {
+		t.Error("result payload wrong")
+	}
+}

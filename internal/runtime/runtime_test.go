@@ -1,0 +1,543 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/macro"
+	"repro/internal/operator"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/source"
+	"repro/internal/value"
+)
+
+// compile builds a runnable program from source against reg (Builtins when
+// nil).
+func compile(t *testing.T, src string, reg *operator.Registry) *graph.Program {
+	t.Helper()
+	if reg == nil {
+		reg = operator.Builtins()
+	}
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags.Err())
+	}
+	info := sema.Analyze(macro.ExpandProgram(prog, &diags), reg, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("analyze: %v", diags.Err())
+	}
+	g := graph.Build(info, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("build: %v", diags.Err())
+	}
+	return g
+}
+
+// run executes src under cfg and returns the result.
+func run(t *testing.T, src string, cfg Config, args ...value.Value) value.Value {
+	t.Helper()
+	g := compile(t, src, nil)
+	e := New(g, cfg)
+	v, err := e.Run(args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func configs() map[string]Config {
+	return map[string]Config{
+		"real-1": {Mode: Real, Workers: 1, MaxOps: 2_000_000},
+		"real-4": {Mode: Real, Workers: 4, MaxOps: 2_000_000},
+		"sim-1":  {Mode: Simulated, Workers: 1, MaxOps: 2_000_000},
+		"sim-4":  {Mode: Simulated, Workers: 4, MaxOps: 2_000_000},
+	}
+}
+
+func TestRunConstant(t *testing.T) {
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, "main() 42", cfg); got != value.Int(42) {
+				t.Errorf("main() = %v", got)
+			}
+		})
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, "main() add(mul(3, 4), incr(5))", cfg); got != value.Int(18) {
+				t.Errorf("got %v, want 18", got)
+			}
+		})
+	}
+}
+
+func TestRunWithArgs(t *testing.T) {
+	g := compile(t, "main(a, b) sub(a, b)", nil)
+	e := New(g, Config{Mode: Real, Workers: 2})
+	v, err := e.Run(value.Int(10), value.Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != value.Int(6) {
+		t.Errorf("got %v, want 6", v)
+	}
+}
+
+func TestRunArgCountMismatch(t *testing.T) {
+	g := compile(t, "main(a) a", nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "expects 1") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunNoMain(t *testing.T) {
+	g := compile(t, "helper(x) x", nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(); err != ErrNoMain {
+		t.Errorf("err = %v, want ErrNoMain", err)
+	}
+}
+
+func TestRunLetForkJoin(t *testing.T) {
+	src := `
+main(x)
+  let a = mul(x, 2)
+      b = mul(x, 3)
+      c = mul(x, 4)
+      d = mul(x, 5)
+  in add(add(a, b), add(c, d))
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(10)); got != value.Int(140) {
+				t.Errorf("got %v, want 140", got)
+			}
+		})
+	}
+}
+
+func TestRunConditional(t *testing.T) {
+	src := "main(x) if lt(x, 0) then neg(x) else x"
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(-7)); got != value.Int(7) {
+				t.Errorf("abs(-7) = %v", got)
+			}
+			if got := run(t, src, cfg, value.Int(5)); got != value.Int(5) {
+				t.Errorf("abs(5) = %v", got)
+			}
+		})
+	}
+}
+
+func TestRunTuples(t *testing.T) {
+	src := `
+main()
+  let <a, b, c> = <1, 2, 3>
+  in add(a, add(b, c))
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg); got != value.Int(6) {
+				t.Errorf("got %v, want 6", got)
+			}
+		})
+	}
+}
+
+func TestRunRecursion(t *testing.T) {
+	src := `
+fact(n) if is_equal(n, 0) then 1 else mul(n, fact(sub(n, 1)))
+main(n) fact(n)
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(10)); got != value.Int(3628800) {
+				t.Errorf("fact(10) = %v", got)
+			}
+		})
+	}
+}
+
+func TestRunMutualRecursion(t *testing.T) {
+	src := `
+even(n) if is_equal(n, 0) then 1 else odd(sub(n, 1))
+odd(n) if is_equal(n, 0) then 0 else even(sub(n, 1))
+main(n) even(n)
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(10)); got != value.Int(1) {
+				t.Errorf("even(10) = %v", got)
+			}
+			if got := run(t, src, cfg, value.Int(7)); got != value.Int(0) {
+				t.Errorf("even(7) = %v", got)
+			}
+		})
+	}
+}
+
+func TestRunIterate(t *testing.T) {
+	// Sum 1..n with a two-variable loop.
+	src := `
+main(n)
+  iterate
+  {
+    i = 0, incr(i)
+    total = 0, add(total, incr(i))
+  } while is_not_equal(i, n),
+  result total
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(10)); got != value.Int(55) {
+				t.Errorf("sum(10) = %v, want 55", got)
+			}
+		})
+	}
+}
+
+func TestIterateIsDoWhile(t *testing.T) {
+	// The body runs once even when the condition is false immediately.
+	src := `
+main()
+  iterate { i = 0, incr(i) } while lt(i, 0), result i
+`
+	if got := run(t, src, Config{Mode: Real, Workers: 1}); got != value.Int(1) {
+		t.Errorf("got %v, want 1 (do-while semantics)", got)
+	}
+}
+
+func TestTailCallActivationReuse(t *testing.T) {
+	src := `
+main(n)
+  iterate { i = 0, incr(i) } while lt(i, n), result i
+`
+	g := compile(t, src, nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	v, err := e.Run(value.Int(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != value.Int(5000) {
+		t.Fatalf("got %v", v)
+	}
+	st := e.Stats()
+	if st.TailCalls < 4999 {
+		t.Errorf("TailCalls = %d, want ~5000", st.TailCalls)
+	}
+	// O(1) loop memory: live activations stay bounded regardless of trip
+	// count.
+	if st.PeakLive > 50 {
+		t.Errorf("PeakLive = %d; tail recursion must not accumulate activations", st.PeakLive)
+	}
+	if st.ActivationsReused == 0 {
+		t.Error("activation pool unused during a long loop")
+	}
+}
+
+func TestRunClosures(t *testing.T) {
+	src := `
+double(x) mul(x, 2)
+triple(x) mul(x, 3)
+pick(flag) if flag then double else triple
+main(flag, v) (pick(flag))(v)
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Bool(true), value.Int(10)); got != value.Int(20) {
+				t.Errorf("double path = %v", got)
+			}
+			if got := run(t, src, cfg, value.Bool(false), value.Int(10)); got != value.Int(30) {
+				t.Errorf("triple path = %v", got)
+			}
+		})
+	}
+}
+
+func TestRunCapturedClosure(t *testing.T) {
+	src := `
+make_adder(k)
+  let addk(v) add(v, k)
+  in addk
+main() (make_adder(100))(5)
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg); got != value.Int(105) {
+				t.Errorf("got %v, want 105", got)
+			}
+		})
+	}
+}
+
+func TestRunFirstClassFunctionArg(t *testing.T) {
+	src := `
+apply_twice(f, x) f(f(x))
+double(x) mul(x, 2)
+main(v) apply_twice(double, v)
+`
+	for name, cfg := range configs() {
+		t.Run(name, func(t *testing.T) {
+			if got := run(t, src, cfg, value.Int(5)); got != value.Int(20) {
+				t.Errorf("got %v, want 20", got)
+			}
+		})
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		args    []value.Value
+		wantErr string
+	}{
+		{"main() div(1, 0)", nil, "division by zero"},
+		{"main(t) tuple_get(t, 5)", []value.Value{value.Tuple{value.Int(1)}}, "out of range"},
+		{"main(x) if x then 1 else 2", []value.Value{value.Str("s")}, "condition"},
+		{"main(f) f(1)", []value.Value{value.Int(3)}, "function required"},
+	}
+	for _, c := range cases {
+		for name, cfg := range configs() {
+			g := compile(t, c.src, nil)
+			e := New(g, cfg)
+			_, err := e.Run(c.args...)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s/%s: err = %v, want mention of %q", c.src, name, err, c.wantErr)
+			}
+		}
+	}
+}
+
+func TestClosureArityError(t *testing.T) {
+	src := `
+double(x) mul(x, 2)
+main() (if is_equal(1,1) then double else double)(1, 2)
+`
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	info := sema.Analyze(macro.ExpandProgram(prog, &diags), operator.Builtins(), &diags)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	g := graph.Build(info, &diags)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "expects 1 arguments, got 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaxOpsGuard(t *testing.T) {
+	src := "spin(n) spin(n)\nmain() spin(1)"
+	g := compile(t, src, nil)
+	e := New(g, Config{Mode: Real, Workers: 2, MaxOps: 10_000})
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	// The central promise of the coordination model (§8): the computed
+	// result is deterministic regardless of processor count and execution
+	// order.
+	src := `
+fib(n) if lt(n, 2) then n else add(fib(sub(n,1)), fib(sub(n,2)))
+main(n) fib(n)
+`
+	g := compile(t, src, nil)
+	var want value.Value
+	for _, workers := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 3; trial++ {
+			e := New(g, Config{Mode: Real, Workers: workers, MaxOps: 5_000_000})
+			got, err := e.Run(value.Int(15))
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if want == nil {
+				want = got
+			} else if !value.Equal(got, want) {
+				t.Fatalf("workers=%d trial=%d: got %v, want %v", workers, trial, got, want)
+			}
+		}
+	}
+	if want != value.Int(610) {
+		t.Errorf("fib(15) = %v, want 610", want)
+	}
+}
+
+func TestSimulatedIsDeterministic(t *testing.T) {
+	src := `
+f(x) add(mul(x, 3), 1)
+main(n)
+  let a = f(n)
+      b = f(incr(n))
+      c = f(add(n, 2))
+  in add(a, add(b, c))
+`
+	g := compile(t, src, nil)
+	var ticks []int64
+	for i := 0; i < 3; i++ {
+		e := New(g, Config{Mode: Simulated, Workers: 3, Machine: machine.CrayYMP()})
+		v, err := e.Run(value.Int(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != value.Int(16+19+22) {
+			t.Fatalf("value = %v", v)
+		}
+		ticks = append(ticks, e.Stats().MakespanTicks)
+	}
+	if ticks[0] != ticks[1] || ticks[1] != ticks[2] {
+		t.Errorf("simulated makespan not deterministic: %v", ticks)
+	}
+	if ticks[0] <= 0 {
+		t.Errorf("makespan = %d, want positive", ticks[0])
+	}
+}
+
+func TestSimulatedSpeedup(t *testing.T) {
+	// Four independent heavy operators on 1 vs 4 processors: the virtual
+	// makespan must shrink close to 4x.
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "heavy", Arity: 1, Pure: false,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(100000)
+			return args[0], nil
+		},
+	})
+	src := `
+main(x)
+  let a = heavy(x)
+      b = heavy(x)
+      c = heavy(x)
+      d = heavy(x)
+  in add(add(a, b), add(c, d))
+`
+	g := compile(t, src, reg)
+	var makespans [2]int64
+	for i, procs := range []int{1, 4} {
+		e := New(g, Config{Mode: Simulated, Workers: procs, Machine: machine.CrayYMP()})
+		if _, err := e.Run(value.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+		makespans[i] = e.Stats().MakespanTicks
+	}
+	speedup := float64(makespans[0]) / float64(makespans[1])
+	if speedup < 3.5 || speedup > 4.2 {
+		t.Errorf("speedup = %.2f (makespans %v), want ~4", speedup, makespans)
+	}
+}
+
+func TestSimulatedThreeOfFourTasks(t *testing.T) {
+	// The paper's observation: with four equal tasks, three processors are
+	// no better than two (Figure 1 discussion).
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "heavy", Arity: 1, Pure: false,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(100000)
+			return args[0], nil
+		},
+	})
+	src := `
+main(x)
+  let a = heavy(x)
+      b = heavy(x)
+      c = heavy(x)
+      d = heavy(x)
+  in add(add(a, b), add(c, d))
+`
+	g := compile(t, src, reg)
+	times := make(map[int]int64)
+	for _, procs := range []int{2, 3} {
+		e := New(g, Config{Mode: Simulated, Workers: procs, Machine: machine.CrayYMP()})
+		if _, err := e.Run(value.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+		times[procs] = e.Stats().MakespanTicks
+	}
+	ratio := float64(times[2]) / float64(times[3])
+	if ratio > 1.05 {
+		t.Errorf("3 procs should not beat 2 on four equal tasks: t2=%d t3=%d", times[2], times[3])
+	}
+}
+
+func TestNodeTimingLog(t *testing.T) {
+	g := compile(t, "main(x) add(mul(x, x), 1)", nil)
+	e := New(g, Config{Mode: Simulated, Workers: 1, Timing: true})
+	if _, err := e.Run(value.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	log := e.Timing()
+	if log == nil {
+		t.Fatal("timing log missing")
+	}
+	entries := log.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (mul, add)", len(entries))
+	}
+	listing := log.Listing(nil)
+	if !strings.Contains(listing, "call of mul took") || !strings.Contains(listing, "call of add took") {
+		t.Errorf("listing:\n%s", listing)
+	}
+	sum := log.Summarize()
+	if len(sum) != 2 || sum[0].Calls != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := compile(t, "main() incr(1)", nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Stats().String(), "ops=") {
+		t.Errorf("Stats.String = %q", e.Stats().String())
+	}
+}
+
+func TestAffinityPolicyString(t *testing.T) {
+	if AffinityNone.String() != "none" || AffinityOperator.String() != "operator" || AffinityData.String() != "data" {
+		t.Error("affinity names wrong")
+	}
+}
+
+func TestEngineRunOnce(t *testing.T) {
+	g := compile(t, "main() 1", nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != ErrAlreadyRun {
+		t.Errorf("second Run = %v, want ErrAlreadyRun", err)
+	}
+}
+
+func TestOperatorPanicBecomesError(t *testing.T) {
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "boom", Arity: 1,
+		Fn: func(operator.Context, []value.Value) (value.Value, error) {
+			panic("embedded code bug")
+		},
+	})
+	g := compile(t, "main() boom(1)", reg)
+	for name, cfg := range configs() {
+		e := New(g, cfg)
+		_, err := e.Run()
+		if err == nil || !strings.Contains(err.Error(), "operator panicked: embedded code bug") {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package runtime
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+func TestFifoOrderAndCompaction(t *testing.T) {
+	var f fifo
+	dummy := &graph.Node{}
+	for i := 0; i < 500; i++ {
+		f.push(task{node: dummy, act: nil})
+	}
+	for i := 0; i < 500; i++ {
+		if f.empty() {
+			t.Fatalf("empty after %d pops", i)
+		}
+		f.pop()
+	}
+	if !f.empty() {
+		t.Fatal("should be empty")
+	}
+	// Interleaved pushes and pops exercise compaction.
+	for round := 0; round < 200; round++ {
+		f.push(task{node: dummy})
+		f.push(task{node: dummy})
+		f.pop()
+	}
+	count := 0
+	for !f.empty() {
+		f.pop()
+		count++
+	}
+	if count != 200 {
+		t.Errorf("drained %d, want 200", count)
+	}
+}
+
+func TestReadyQueuePriorityOrder(t *testing.T) {
+	q := newReadyQueue()
+	nodes := map[Priority]*graph.Node{
+		PriNormal:    {Name: "normal"},
+		PriCall:      {Name: "call"},
+		PriRecursive: {Name: "recursive"},
+	}
+	// Push in reverse priority order; pops must come back normal-first.
+	q.Push(task{node: nodes[PriRecursive]}, PriRecursive)
+	q.Push(task{node: nodes[PriCall]}, PriCall)
+	q.Push(task{node: nodes[PriNormal]}, PriNormal)
+	want := []string{"normal", "call", "recursive"}
+	for _, w := range want {
+		tk, ok := q.Pop()
+		if !ok || tk.node.Name != w {
+			t.Fatalf("pop = %v/%v, want %s", tk.node, ok, w)
+		}
+	}
+}
+
+func TestReadyQueueCloseWakesWaiters(t *testing.T) {
+	q := newReadyQueue()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := q.Pop(); ok {
+				t.Error("Pop after close should fail")
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+}
+
+// heavyOpsRegistry registers distinct named heavy operators so the
+// affinity policies have something to place.
+func heavyOpsRegistry() *operator.Registry {
+	r := operator.NewRegistry(operator.Builtins())
+	r.MustRegister(&operator.Operator{
+		Name: "grind", Arity: 1, Pure: false,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(5000)
+			if b, ok := args[0].(*value.Block); ok {
+				vec := b.Data().(value.FloatVec)
+				var s float64
+				for _, x := range vec {
+					s += x
+				}
+				return value.Float(s), nil
+			}
+			return args[0], nil
+		},
+	})
+	r.MustRegister(&operator.Operator{
+		Name: "bigblock", Arity: 0,
+		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
+			ctx.Charge(10)
+			return value.NewBlockStats(make(value.FloatVec, 4096), ctx.BlockStats()), nil
+		},
+	})
+	return r
+}
+
+func TestOperatorAffinityKeepsOperatorHome(t *testing.T) {
+	// A chain of invocations of the same operator should stay on one
+	// processor under AffinityOperator when nothing else competes.
+	src := `
+main(x)
+  iterate { i = 0, incr(i)
+            v = x, grind(v) } while lt(i, 6), result v
+`
+	g := compile(t, src, heavyOpsRegistry())
+	e := New(g, Config{Mode: Simulated, Workers: 4, Machine: machine.Butterfly().WithProcs(4),
+		Affinity: AffinityOperator, Timing: true, MaxOps: 100000})
+	if _, err := e.Run(value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	procs := make(map[int]bool)
+	for _, entry := range e.Timing().Entries() {
+		if entry.Name == "grind" {
+			procs[entry.Proc] = true
+		}
+	}
+	if len(procs) != 1 {
+		t.Errorf("grind ran on %d processors under operator affinity, want 1", len(procs))
+	}
+}
+
+func TestDataAffinityFollowsBlock(t *testing.T) {
+	// Under the data policy, successive operators touching the same large
+	// block run on its home processor, eliminating remote traffic after
+	// the first touch.
+	src := `
+main()
+  let b = bigblock()
+      s1 = grind(b)
+      b2 = bigblock()
+  in add(s1, grind(b2))
+`
+	run := func(pol AffinityPolicy) int64 {
+		g := compile(t, src, heavyOpsRegistry())
+		e := New(g, Config{Mode: Simulated, Workers: 4,
+			Machine: machine.Butterfly().WithProcs(4), Affinity: pol, MaxOps: 100000})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats().MemoryTicks
+	}
+	if none, data := run(AffinityNone), run(AffinityData); data > none {
+		t.Errorf("data affinity increased memory ticks: %d vs %d", data, none)
+	}
+}
+
+func TestSimulatedUtilizationBounds(t *testing.T) {
+	g := compile(t, `
+main(x)
+  let a = grind(x)
+      b = grind(incr(x))
+      c = grind(add(x, 2))
+      d = grind(add(x, 3))
+  in add(add(a, b), add(c, d))
+`, heavyOpsRegistry())
+	e := New(g, Config{Mode: Simulated, Workers: 4, MaxOps: 100000})
+	if _, err := e.Run(value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	u := e.Stats().Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want (0, 1]", u)
+	}
+	if e.Stats().MakespanTicks < e.Stats().BusyTicks/4 {
+		t.Error("makespan below busy/procs: scheduler accounting broken")
+	}
+}
+
+func TestSimulatedRespectsPriorities(t *testing.T) {
+	// With priorities disabled the same program still computes the same
+	// value (only scheduling changes).
+	src := `
+fib(n) if lt(n, 2) then n else add(fib(sub(n,1)), fib(sub(n,2)))
+main(n) fib(n)
+`
+	g := compile(t, src, nil)
+	var vals []value.Value
+	for _, disable := range []bool{false, true} {
+		e := New(g, Config{Mode: Simulated, Workers: 2, DisablePriorities: disable, MaxOps: 1000000})
+		v, err := e.Run(value.Int(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	if !value.Equal(vals[0], vals[1]) {
+		t.Errorf("priority setting changed the result: %v vs %v", vals[0], vals[1])
+	}
+}
+
+func TestWorkersDefaultFromMachine(t *testing.T) {
+	cfg := Config{Machine: machine.Butterfly()}
+	if cfg.workers() != machine.Butterfly().Procs {
+		t.Errorf("workers() = %d, want machine's %d", cfg.workers(), machine.Butterfly().Procs)
+	}
+	if (Config{}).workers() != 1 {
+		t.Error("bare config should default to 1 worker")
+	}
+	if (Config{Workers: 3}).workers() != 3 {
+		t.Error("explicit workers ignored")
+	}
+}
+
+func TestEngineStatsActivationAccounting(t *testing.T) {
+	g := compile(t, `
+f(x) add(x, 1)
+main(n)
+  iterate { i = 0, f(i) } while lt(i, n), result i
+`, nil)
+	e := New(g, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(value.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.LiveActivations != 0 {
+		t.Errorf("LiveActivations = %d after completion, want 0", st.LiveActivations)
+	}
+	if st.ActivationsReused == 0 {
+		t.Error("loop should reuse pooled activations")
+	}
+	if st.PeakLive <= 0 {
+		t.Error("PeakLive not tracked")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := compile(t, `
+main(x)
+  let a = grind(x)
+      b = grind(incr(x))
+  in add(a, b)
+`, heavyOpsRegistry())
+	e := New(g, Config{Mode: Simulated, Workers: 2, Timing: true, MaxOps: 100000})
+	if _, err := e.Run(value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	gantt := e.Timing().Gantt(60)
+	if !strings.Contains(gantt, "proc  0 |") || !strings.Contains(gantt, "proc  1 |") {
+		t.Errorf("gantt rows missing:\n%s", gantt)
+	}
+	if !strings.Contains(gantt, "grind") && !strings.Contains(gantt, "gri") {
+		t.Errorf("gantt labels missing:\n%s", gantt)
+	}
+	loads := e.Timing().ProcLoads()
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	// The two grinds run one per processor: loads roughly equal.
+	hi, lo := loads[0], loads[1]
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if lo == 0 || float64(hi)/float64(lo) > 1.5 {
+		t.Errorf("unbalanced loads %v for symmetric program", loads)
+	}
+	if out := NewTimingLog().Gantt(40); !strings.Contains(out, "no timing entries") {
+		t.Errorf("empty gantt = %q", out)
+	}
+}
+
+// TestDeadlockDetection feeds the engine a deliberately broken template —
+// a node whose input port is never fed — and checks both executors report
+// a deadlock instead of hanging. (The compiler can never emit such a
+// graph; Validate rejects it. The runtime still refuses to hang.)
+func TestDeadlockDetection(t *testing.T) {
+	inc, _ := operator.Builtins().Lookup("incr")
+	tmpl := &graph.Template{Name: "broken"}
+	tmpl.Nodes = []*graph.Node{
+		{ID: 0, Kind: graph.ConstNode, Const: value.Int(1), Out: []graph.Edge{{To: 1, Port: 0}}},
+		{ID: 1, Kind: graph.OpNode, Name: "incr", Op: inc, NIn: 1},
+		{ID: 2, Kind: graph.OpNode, Name: "incr", Op: inc, NIn: 1}, // never fed
+	}
+	tmpl.Result = 2
+	prog := &graph.Program{Templates: map[string]*graph.Template{"main": tmpl}, Main: tmpl}
+	for _, mode := range []Mode{Real, Simulated} {
+		e := New(prog, Config{Mode: mode, Workers: 2, MaxOps: 1000})
+		_, err := e.Run()
+		if err == nil || !strings.Contains(err.Error(), "deadlocked") {
+			t.Errorf("mode %v: err = %v, want deadlock report", mode, err)
+		}
+	}
+}
+
+// TestNoResultDetection covers the sibling failure: a graph whose nodes
+// all complete during seeding without ever producing a result.
+func TestNoResultDetection(t *testing.T) {
+	tmpl := &graph.Template{Name: "silent"}
+	tmpl.Nodes = []*graph.Node{
+		{ID: 0, Kind: graph.ConstNode, Const: value.Int(1)},
+		{ID: 1, Kind: graph.OpNode, Name: "x", NIn: 1, Op: &operator.Operator{
+			Name: "x", Arity: 1,
+			Fn: func(operator.Context, []value.Value) (value.Value, error) {
+				return value.Int(0), nil
+			}}}, // result node, never fed
+	}
+	tmpl.Result = 1
+	prog := &graph.Program{Templates: map[string]*graph.Template{"main": tmpl}, Main: tmpl}
+	e := New(prog, Config{Mode: Real, Workers: 1})
+	if _, err := e.Run(); err == nil {
+		t.Error("expected failure for silent graph")
+	}
+}

@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// simItem is a runnable node with the virtual time it became ready.
+type simItem struct {
+	act   *activation
+	node  *graph.Node
+	ready int64
+	seq   int64 // FIFO tie-break within a priority level
+}
+
+// simHeap orders items by (ready, seq).
+type simHeap []simItem
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x interface{}) { *h = append(*h, x.(simItem)) }
+func (h *simHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = simItem{}
+	*h = old[:n-1]
+	return it
+}
+
+// runSimulated executes the program deterministically on P virtual
+// processors. Operators actually run (producing real values); their charged
+// work units, the machine profile's dispatch overhead, and the modeled
+// memory cost of their input blocks advance a virtual clock. The scheduler
+// is a list scheduler honoring the three-level priority discipline: when a
+// processor is free it takes the highest-priority item that is ready, with
+// FIFO order inside a level.
+//
+// The §9.3 affinity policies act here: AffinityOperator prefers the
+// processor that last ran the same operator, AffinityData the processor
+// holding the largest share of the input blocks — each only when the
+// preferred processor can start the item without delay.
+func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
+	prof := e.cfg.profile()
+	nproc := e.cfg.workers()
+	procFree := make([]int64, nproc)
+	busy := make([]int64, nproc)
+	lastProc := make(map[string]int) // operator name -> last processor
+
+	var heaps [numPriorities]simHeap
+	var seq int64
+	var clock int64 // start time of the item being executed
+
+	w := &worker{e: e, proc: 0}
+	var buffered []simItem
+	type delivery struct {
+		act    *activation
+		nodeID int
+	}
+	var deliveries []delivery
+	w.sched = func(a *activation, n *graph.Node) {
+		seq++
+		buffered = append(buffered, simItem{act: a, node: n, seq: seq})
+	}
+	w.delivered = func(a *activation, nodeID int) {
+		deliveries = append(deliveries, delivery{act: a, nodeID: nodeID})
+	}
+	// flush publishes the effects of the execution that finished at `at`:
+	// every delivery stamps its consumer's earliest start, and every node
+	// that became runnable enters the ready heap no earlier than the
+	// latest delivery it received — a consumer must not start before a
+	// slow producer has finished, even if that producer's value was
+	// computed (popped) first.
+	flush := func(at int64) {
+		for _, d := range deliveries {
+			if d.act.readyAt == nil {
+				d.act.readyAt = make([]int64, len(d.act.tmpl.Nodes))
+			}
+			if at > d.act.readyAt[d.nodeID] {
+				d.act.readyAt[d.nodeID] = at
+			}
+		}
+		deliveries = deliveries[:0]
+		for _, it := range buffered {
+			it.ready = at
+			if it.act.readyAt != nil && it.act.readyAt[it.node.ID] > it.ready {
+				it.ready = it.act.readyAt[it.node.ID]
+			}
+			pri := e.classify(it.act, it.node)
+			heap.Push(&heaps[pri], it)
+		}
+		buffered = buffered[:0]
+	}
+
+	root := e.acquire(e.prog.Main)
+	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
+	e.initActivation(w, root, args)
+	flush(0)
+
+	var makespan int64
+	for {
+		if e.stopped.Load() && e.runErr != nil {
+			return nil, e.runErr
+		}
+		// Earliest moment any processor is free.
+		tMin := procFree[0]
+		for _, f := range procFree[1:] {
+			if f < tMin {
+				tMin = f
+			}
+		}
+		// Earliest ready time across all levels.
+		minReady := int64(math.MaxInt64)
+		empty := true
+		for pri := range heaps {
+			if len(heaps[pri]) > 0 {
+				empty = false
+				if heaps[pri][0].ready < minReady {
+					minReady = heaps[pri][0].ready
+				}
+			}
+		}
+		if empty {
+			break
+		}
+		t := tMin
+		if minReady > t {
+			t = minReady // every processor idles until work becomes ready
+		}
+		// Highest-priority item ready at t.
+		var item simItem
+		found := false
+		for pri := range heaps {
+			if len(heaps[pri]) > 0 && heaps[pri][0].ready <= t {
+				item = heap.Pop(&heaps[pri]).(simItem)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("delirium: internal: simulated scheduler stalled at t=%d", t)
+		}
+
+		proc := e.placeSim(item, procFree, lastProc, t)
+		start := procFree[proc]
+		if item.ready > start {
+			start = item.ready
+		}
+		clock = start
+		w.proc = proc
+
+		if err := e.execNode(w, item.act, item.node); err != nil {
+			return nil, err
+		}
+		dur := prof.DispatchTicks +
+			int64(float64(w.charge)*prof.TickPerUnit) +
+			int64(float64(w.localWords)*prof.LocalTicksPerWord) +
+			int64(float64(w.remoteWords)*prof.RemoteTicksPerWord)
+		if dur < 1 {
+			dur = 1
+		}
+		end := clock + dur
+		procFree[proc] = end
+		busy[proc] += dur
+		e.stats.DispatchTicks += prof.DispatchTicks
+		e.stats.MemoryTicks += int64(float64(w.localWords)*prof.LocalTicksPerWord) +
+			int64(float64(w.remoteWords)*prof.RemoteTicksPerWord)
+		if end > makespan {
+			makespan = end
+		}
+		if item.node.Kind == graph.OpNode {
+			lastProc[item.node.Name] = proc
+			if e.timing != nil {
+				e.timing.Add(TimingEntry{Name: item.node.Name, Template: item.act.tmpl.Name,
+					Proc: proc, Start: start, Ticks: dur})
+			}
+		}
+		flush(end)
+	}
+
+	e.stats.MakespanTicks = makespan
+	e.stats.ProcBusyTicks = busy
+	for _, b := range busy {
+		e.stats.BusyTicks += b
+	}
+	if !e.stopped.Load() {
+		return nil, fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)")
+	}
+	return e.takeResult()
+}
+
+// placeSim chooses the processor for an item under the configured affinity
+// policy. The preference is overridden when the preferred processor would
+// delay the start (§9.3: "this preference is overridden if the desired
+// processor is busy").
+func (e *Engine) placeSim(item simItem, procFree []int64, lastProc map[string]int, t int64) int {
+	earliest := 0
+	for p := 1; p < len(procFree); p++ {
+		if procFree[p] < procFree[earliest] {
+			earliest = p
+		}
+	}
+	if item.node.Kind != graph.OpNode {
+		return earliest
+	}
+	switch e.cfg.Affinity {
+	case AffinityOperator:
+		if pref, ok := lastProc[item.node.Name]; ok && procFree[pref] <= t {
+			return pref
+		}
+	case AffinityData:
+		// Weigh candidate processors by resident input words.
+		weight := make(map[int32]int64)
+		for _, in := range item.act.inputs(item.node) {
+			for _, b := range value.Blocks(in, nil) {
+				if aff := b.Affinity(); aff != value.NoAffinity {
+					weight[aff] += int64(b.Size())
+				}
+			}
+		}
+		best, bestW := -1, int64(0)
+		for p, wgt := range weight {
+			if int(p) < len(procFree) && (wgt > bestW || (wgt == bestW && best >= 0 && int(p) < best)) {
+				best, bestW = int(p), wgt
+			}
+		}
+		if best >= 0 && procFree[best] <= t {
+			return best
+		}
+	}
+	return earliest
+}

@@ -1,0 +1,190 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Stats aggregates one run's execution counters. All fields are updated
+// atomically; read them after Run returns.
+type Stats struct {
+	// OpsExecuted counts scheduled node executions (operators, calls,
+	// conditionals, plumbing nodes) — everything that went through the
+	// ready queue.
+	OpsExecuted int64
+	// OperatorsRun counts sequential operator (OpNode) executions only.
+	OperatorsRun int64
+	// ActivationsAllocated and ActivationsReused split activation demand
+	// between fresh allocations and pool reuse (§7: the priority scheme
+	// reduces the number of template activations required).
+	ActivationsAllocated int64
+	ActivationsReused    int64
+	// LiveActivations tracks currently-live activations; PeakLive the
+	// maximum observed.
+	LiveActivations int64
+	PeakLive        int64
+	// LiveActivationWords tracks the words held by live activation
+	// buffers; PeakActivationWords the maximum observed. Compared against
+	// the program's template memory, this checks §7's claim that templates
+	// represent over 80% of the runtime system's memory.
+	LiveActivationWords int64
+	PeakActivationWords int64
+	// TailCalls counts activations replaced in place by a tail call.
+	TailCalls int64
+	// ChargedUnits is total work charged by operators via Context.Charge.
+	ChargedUnits int64
+	// Blocks aggregates reference-count traffic (copies = the price of the
+	// determinism guarantee).
+	Blocks value.BlockStats
+
+	// Simulated-mode results. MakespanTicks is the virtual finish time;
+	// BusyTicks the summed per-processor busy time; DispatchTicks the
+	// scheduling overhead included in BusyTicks; MemoryTicks the memory
+	// access cost included in BusyTicks.
+	MakespanTicks int64
+	BusyTicks     int64
+	DispatchTicks int64
+	MemoryTicks   int64
+	ProcBusyTicks []int64
+	// RealNanos is the wall-clock duration of a Real-mode run.
+	RealNanos int64
+}
+
+// noteLive bumps the live-activation gauges and refreshes the peaks.
+func (s *Stats) noteLive(delta, words int64) {
+	live := atomic.AddInt64(&s.LiveActivations, delta)
+	liveWords := atomic.AddInt64(&s.LiveActivationWords, words)
+	if delta <= 0 {
+		return
+	}
+	for {
+		peak := atomic.LoadInt64(&s.PeakLive)
+		if live <= peak || atomic.CompareAndSwapInt64(&s.PeakLive, peak, live) {
+			break
+		}
+	}
+	for {
+		peak := atomic.LoadInt64(&s.PeakActivationWords)
+		if liveWords <= peak || atomic.CompareAndSwapInt64(&s.PeakActivationWords, peak, liveWords) {
+			break
+		}
+	}
+}
+
+// OverheadFraction returns scheduling overhead as a fraction of all busy
+// virtual time — the figure the paper reports as "generally less than three
+// percent" (§1) and under one percent for the retina model (§7). Returns 0
+// for Real-mode runs.
+func (s *Stats) OverheadFraction() float64 {
+	if s.BusyTicks == 0 {
+		return 0
+	}
+	return float64(s.DispatchTicks) / float64(s.BusyTicks)
+}
+
+// Utilization returns busy/total processor-time for a simulated run.
+func (s *Stats) Utilization() float64 {
+	if s.MakespanTicks == 0 || len(s.ProcBusyTicks) == 0 {
+		return 0
+	}
+	return float64(s.BusyTicks) / float64(s.MakespanTicks*int64(len(s.ProcBusyTicks)))
+}
+
+// String summarizes the counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("ops=%d operators=%d activations=%d(+%d reused) peak=%d tail=%d charged=%d copies=%d",
+		atomic.LoadInt64(&s.OpsExecuted), atomic.LoadInt64(&s.OperatorsRun),
+		atomic.LoadInt64(&s.ActivationsAllocated), atomic.LoadInt64(&s.ActivationsReused),
+		atomic.LoadInt64(&s.PeakLive), atomic.LoadInt64(&s.TailCalls),
+		atomic.LoadInt64(&s.ChargedUnits), atomic.LoadInt64(&s.Blocks.Copies))
+}
+
+// TimingEntry records one node execution for the node timing tool (§5.2).
+type TimingEntry struct {
+	Name     string // operator or node label
+	Template string
+	Proc     int
+	Start    int64 // virtual start time (Simulated) or offset nanoseconds (Real)
+	Ticks    int64 // virtual ticks (Simulated) or nanoseconds (Real)
+}
+
+// TimingLog collects node timings from all workers.
+type TimingLog struct {
+	mu      sync.Mutex
+	entries []TimingEntry
+}
+
+// NewTimingLog returns an empty log.
+func NewTimingLog() *TimingLog { return &TimingLog{} }
+
+// Add appends one entry; safe for concurrent use.
+func (l *TimingLog) Add(e TimingEntry) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Entries returns a copy of the recorded entries.
+func (l *TimingLog) Entries() []TimingEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TimingEntry(nil), l.entries...)
+}
+
+// Listing renders entries for the named operators in the paper's format:
+//
+//	call of convol_split took 10013
+//	call of convol_bite took 1059919
+//
+// Only operators in the filter set are listed (nil lists everything).
+func (l *TimingLog) Listing(filter map[string]bool) string {
+	var b strings.Builder
+	for _, e := range l.Entries() {
+		if filter != nil && !filter[e.Name] {
+			continue
+		}
+		fmt.Fprintf(&b, "call of %s took %d\n", e.Name, e.Ticks)
+	}
+	return b.String()
+}
+
+// Summary aggregates per-operator totals, sorted by descending total time.
+type TimingSummary struct {
+	Name  string
+	Calls int
+	Total int64
+	Max   int64
+}
+
+// Summarize groups entries by operator name.
+func (l *TimingLog) Summarize() []TimingSummary {
+	agg := make(map[string]*TimingSummary)
+	for _, e := range l.Entries() {
+		s := agg[e.Name]
+		if s == nil {
+			s = &TimingSummary{Name: e.Name}
+			agg[e.Name] = s
+		}
+		s.Calls++
+		s.Total += e.Ticks
+		if e.Ticks > s.Max {
+			s.Max = e.Ticks
+		}
+	}
+	out := make([]TimingSummary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

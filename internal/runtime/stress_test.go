@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestDeepNonTailRecursion exercises the continuation chain: a non-tail
+// recursive sum builds thousands of nested activations which unwind
+// through complete()'s iterative bubbling.
+func TestDeepNonTailRecursion(t *testing.T) {
+	src := `
+sumdown(n) if is_equal(n, 0) then 0 else add(n, sumdown(sub(n, 1)))
+main(n) sumdown(n)
+`
+	g := compile(t, src, nil)
+	const n = 4000
+	for name, cfg := range configs() {
+		cfg.MaxOps = 10_000_000
+		e := New(g, cfg)
+		v, err := e.Run(value.Int(n))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v != value.Int(n*(n+1)/2) {
+			t.Errorf("%s: sumdown(%d) = %v", name, n, v)
+		}
+	}
+}
+
+// TestWideFanOut runs a single value into a very wide fork (256 consumers)
+// and joins the results, exercising fan-out retention and the ready queue
+// under burst load.
+func TestWideFanOut(t *testing.T) {
+	const width = 256
+	var b strings.Builder
+	b.WriteString("main(x)\n  let ")
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "v%d = mul(x, %d)\n      ", i, i)
+	}
+	b.WriteString("total = 0\n  in ")
+	expr := "v0"
+	for i := 1; i < width; i++ {
+		expr = fmt.Sprintf("add(%s, v%d)", expr, i)
+	}
+	b.WriteString(expr)
+	g := compile(t, b.String(), nil)
+	want := value.Int(0)
+	for i := 0; i < width; i++ {
+		want += value.Int(3 * i)
+	}
+	for name, cfg := range configs() {
+		e := New(g, cfg)
+		v, err := e.Run(value.Int(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v != want {
+			t.Errorf("%s: got %v, want %v", name, v, want)
+		}
+	}
+}
+
+// TestLongLoopManyWorkers stresses activation pooling under contention:
+// a million-iteration loop shared by 8 workers.
+func TestLongLoopManyWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	src := `
+main(n)
+  iterate { i = 0, incr(i) } while lt(i, n), result i
+`
+	g := compile(t, src, nil)
+	e := New(g, Config{Mode: Real, Workers: 8, MaxOps: 50_000_000})
+	const n = 200_000
+	v, err := e.Run(value.Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != value.Int(n) {
+		t.Fatalf("got %v", v)
+	}
+	if e.Stats().PeakLive > 100 {
+		t.Errorf("PeakLive = %d for a simple loop", e.Stats().PeakLive)
+	}
+}
+
+// TestRecursiveFanOutTree runs a bushy recursion (quad tree of depth 6),
+// mixing recursive expansions with fan-out joins at every level.
+func TestRecursiveFanOutTree(t *testing.T) {
+	src := `
+tree(d)
+  if is_equal(d, 0)
+    then 1
+    else let a = tree(sub(d, 1))
+             b = tree(sub(d, 1))
+             c = tree(sub(d, 1))
+             e = tree(sub(d, 1))
+         in add(add(a, b), add(c, e))
+main(d) tree(d)
+`
+	g := compile(t, src, nil)
+	for name, cfg := range configs() {
+		cfg.MaxOps = 10_000_000
+		e := New(g, cfg)
+		v, err := e.Run(value.Int(6))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v != value.Int(4096) { // 4^6
+			t.Errorf("%s: tree(6) = %v, want 4096", name, v)
+		}
+	}
+}
+
+// TestManySmallRunsReusePools verifies engines are independent: hundreds
+// of runs of the same program from fresh engines, interleaved worker
+// counts, all agreeing.
+func TestManySmallRunsReusePools(t *testing.T) {
+	g := compile(t, `
+f(a, b) add(mul(a, a), b)
+main(x) f(f(x, 1), f(x, 2))
+`, nil)
+	var want value.Value
+	for i := 0; i < 200; i++ {
+		e := New(g, Config{Mode: Real, Workers: 1 + i%4})
+		v, err := e.Run(value.Int(int64(i % 7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if want == nil {
+				want = v
+			} else if !value.Equal(v, want) {
+				t.Fatalf("run %d: %v != %v", i, v, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package selfcomp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+func opCall(t *testing.T, reg *operator.Registry, name string, args ...value.Value) (value.Value, error) {
+	t.Helper()
+	op, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("operator %s missing", name)
+	}
+	return op.Fn(operator.NopContext, args)
+}
+
+func TestCompilerOperatorMisuse(t *testing.T) {
+	reg := Operators("t.dlr", "main() 1", operator.Builtins())
+	wrong := value.NewBlock(&value.Opaque{Payload: 99, Words: 1})
+	cases := []struct {
+		op   string
+		args []value.Value
+		want string
+	}{
+		{"parse_split", []value.Value{value.Int(1)}, "block argument required"},
+		{"parse_split", []value.Value{wrong}, "expected compiler state"},
+		{"parse_bite", []value.Value{wrong}, "expected work piece"},
+		{"parse_join", []value.Value{wrong, wrong, wrong}, "expected work piece"},
+		{"macro_bite", []value.Value{nil}, "missing block"},
+	}
+	for _, c := range cases {
+		_, err := opCall(t, reg, c.op, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.op, err, c.want)
+		}
+	}
+}
+
+func TestJoinRejectsMixedCompilations(t *testing.T) {
+	reg := Operators("t.dlr", "main() 1", operator.Builtins())
+	st1, err := opCall(t, reg, "lex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := opCall(t, reg, "lex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := opCall(t, reg, "parse_split", st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := opCall(t, reg, "parse_split", st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p1.(value.Tuple)
+	b := p2.(value.Tuple)
+	// Pieces 0 and 1 from different compilations must be rejected.
+	if _, err := opCall(t, reg, "parse_join", a[0], b[1], a[2]); err == nil ||
+		!strings.Contains(err.Error(), "different compilations") {
+		t.Errorf("err = %v", err)
+	}
+	// Duplicate piece indexes too.
+	if _, err := opCall(t, reg, "parse_join", a[0], a[0], a[2]); err == nil ||
+		!strings.Contains(err.Error(), "bad piece index") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLexSurfacesScanErrors(t *testing.T) {
+	reg := Operators("t.dlr", "main() \x01", operator.Builtins())
+	if _, err := opCall(t, reg, "lex"); err == nil ||
+		!strings.Contains(err.Error(), "lexing failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSelfcompSourceIsValidDelirium(t *testing.T) {
+	// The framework itself must compile with the compiler operators in a
+	// registry (it is, after all, a Delirium program).
+	if !strings.Contains(Source(), "graph_join(d1,d2,d3)") {
+		t.Error("framework text changed unexpectedly")
+	}
+}

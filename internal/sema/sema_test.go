@@ -1,0 +1,464 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/macro"
+	"repro/internal/operator"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/value"
+)
+
+func analyze(t *testing.T, src string) (*Info, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags.Err())
+	}
+	expanded := macro.ExpandProgram(prog, &diags)
+	info := Analyze(expanded, operator.Builtins(), &diags)
+	return info, &diags
+}
+
+func analyzeOK(t *testing.T, src string) *Info {
+	t.Helper()
+	info, diags := analyze(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("analyze: %v", diags.Err())
+	}
+	return info
+}
+
+func analyzeErr(t *testing.T, src, wantErr string) {
+	t.Helper()
+	_, diags := analyze(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error mentioning %q, got none", wantErr)
+	}
+	if !strings.Contains(diags.Err().Error(), wantErr) {
+		t.Fatalf("error %q does not mention %q", diags.Err(), wantErr)
+	}
+}
+
+// findIdent locates the first identifier whose name is name or an
+// alpha-renamed variant name$N.
+func findIdent(e ast.Expr, name string) *ast.Ident {
+	var found *ast.Ident
+	ast.Walk(e, func(x ast.Expr) bool {
+		if id, ok := x.(*ast.Ident); ok && found == nil {
+			if id.Name == name || strings.HasPrefix(id.Name, name+"$") {
+				found = id
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+func TestResolveKinds(t *testing.T) {
+	info := analyzeOK(t, `
+helper(v) incr(v)
+main()
+  let x = 1
+  in helper(add(x, 2))
+`)
+	m := info.Main()
+	if m == nil {
+		t.Fatal("main not found")
+	}
+	body := m.Decl.Body
+	if id := findIdent(body, "x"); id == nil || id.Ref != ast.RefLet {
+		t.Errorf("x resolved to %v", id)
+	}
+	if id := findIdent(body, "helper"); id == nil || id.Ref != ast.RefFunc {
+		t.Errorf("helper resolved to %v", id)
+	}
+	if id := findIdent(body, "add"); id == nil || id.Ref != ast.RefOperator {
+		t.Errorf("add resolved to %v", id)
+	}
+	h := info.Funcs["helper"]
+	if id := findIdent(h.Decl.Body, "v"); id == nil || id.Ref != ast.RefParam {
+		t.Errorf("v resolved to %v", id)
+	}
+}
+
+func TestUndefinedName(t *testing.T) {
+	analyzeErr(t, "main() nonsense(1)", "undefined name nonsense")
+	analyzeErr(t, "main() xyz", "undefined name xyz")
+}
+
+func TestArityChecks(t *testing.T) {
+	analyzeErr(t, "f(a,b) add(a,b)\nmain() f(1)", "expects 2 arguments, got 1")
+	analyzeErr(t, "main() incr(1,2)", "expects 1 arguments, got 2")
+	// Variadic operators accept anything.
+	analyzeOK(t, "main() merge(1,2,3,4,5)")
+}
+
+func TestOperatorNotFirstClass(t *testing.T) {
+	analyzeErr(t, "apply(f,x) f(x)\nmain() apply(incr, 1)", "not a first-class value")
+}
+
+func TestFunctionFirstClassUse(t *testing.T) {
+	info := analyzeOK(t, `
+double(x) mul(x, 2)
+apply(f, x) f(x)
+main() apply(double, 5)
+`)
+	m := info.Main()
+	call := m.Decl.Body.(*ast.Call)
+	arg := call.Args[0].(*ast.Ident)
+	if arg.Ref != ast.RefFunc {
+		t.Errorf("double as value resolved to %v", arg.Ref)
+	}
+	// In apply, the call through parameter f stays a variable reference.
+	a := info.Funcs["apply"]
+	inner := a.Decl.Body.(*ast.Call)
+	if fn, ok := inner.Fun.(*ast.Ident); !ok || fn.Ref != ast.RefParam {
+		t.Errorf("f callee resolved to %+v", inner.Fun)
+	}
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	analyzeErr(t, "f() 1\nf() 2\nmain() f()", "redefined")
+}
+
+func TestFunctionOperatorConflict(t *testing.T) {
+	analyzeErr(t, "incr(x) x\nmain() incr(1)", "conflicts with a registered operator")
+}
+
+func TestDuplicateParam(t *testing.T) {
+	analyzeErr(t, "f(a,a) a\nmain() f(1,2)", "duplicate parameter")
+}
+
+func TestDuplicateLetBinding(t *testing.T) {
+	analyzeErr(t, "main() let a = 1 a = 2 in a", "bound more than once")
+}
+
+func TestLetForwardReferenceAllowed(t *testing.T) {
+	// Dataflow semantics: textual order of bindings is irrelevant.
+	analyzeOK(t, `
+main()
+  let a = incr(b)
+      b = incr(1)
+  in a
+`)
+}
+
+func TestLetCycleRejected(t *testing.T) {
+	analyzeErr(t, `
+main()
+  let a = incr(b)
+      b = incr(a)
+  in a
+`, "circular data dependency")
+	analyzeErr(t, "main() let a = incr(a) in a", "circular data dependency")
+}
+
+func TestAlphaRenamingDistinguishesShadows(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let x = 1
+  in let x = 2
+     in incr(x)
+`)
+	outer := info.Main().Decl.Body.(*ast.Let)
+	inner := outer.Body.(*ast.Let)
+	if outer.Binds[0].Names[0] == inner.Binds[0].Names[0] {
+		t.Errorf("shadowed binders share the unique name %q", outer.Binds[0].Names[0])
+	}
+	use := findIdent(inner.Body, "x")
+	if use.Name != inner.Binds[0].Names[0] {
+		t.Errorf("use %q does not reference innermost binder %q", use.Name, inner.Binds[0].Names[0])
+	}
+}
+
+func TestAlphaRenamingNestLocal(t *testing.T) {
+	// Uniqueness is per top-level nest: distinct functions may reuse a
+	// spelling (their scopes never mix), but a nested function and its
+	// enclosing scope must not collide.
+	info := analyzeOK(t, `
+main()
+  let x = 1
+      f(x) incr(x)
+  in f(x)
+`)
+	outer := info.Main().Decl.Body.(*ast.Let)
+	var liftedParam string
+	for name, fn := range info.Funcs {
+		if strings.HasPrefix(name, "main$f") {
+			liftedParam = fn.Decl.Params[0]
+		}
+	}
+	if liftedParam == "" {
+		t.Fatal("lifted f missing")
+	}
+	if outer.Binds[0].Names[0] == liftedParam {
+		t.Errorf("nested parameter shares unique name %q with enclosing binding", liftedParam)
+	}
+}
+
+func TestNestedFunctionLifting(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let base = 10
+      addb(v) add(v, base)
+  in addb(5)
+`)
+	var lifted *Func
+	for name, f := range info.Funcs {
+		if !f.TopLevel {
+			if lifted != nil {
+				t.Fatalf("more than one lifted function")
+			}
+			lifted = f
+			if !strings.HasPrefix(name, "main$addb") {
+				t.Errorf("lifted name = %q", name)
+			}
+		}
+	}
+	if lifted == nil {
+		t.Fatal("nested function was not lifted")
+	}
+	if len(lifted.Decl.Captures) != 1 || !strings.HasPrefix(lifted.Decl.Captures[0], "base") {
+		t.Errorf("captures = %v, want [base]", lifted.Decl.Captures)
+	}
+	// The use of base inside the nested body is marked as a capture.
+	if id := findIdent(lifted.Decl.Body, "base"); id == nil || id.Ref != ast.RefCapture {
+		t.Errorf("captured use resolved to %+v", id)
+	}
+}
+
+func TestTransitiveCaptures(t *testing.T) {
+	// f calls g; g captures outer a. f must also capture a to forward it.
+	info := analyzeOK(t, `
+main()
+  let a = 1
+      g(x) add(x, a)
+      f(y) g(incr(y))
+  in f(2)
+`)
+	var fDecl *ast.FuncDecl
+	for name, fn := range info.Funcs {
+		if strings.HasPrefix(name, "main$f") {
+			fDecl = fn.Decl
+		}
+	}
+	if fDecl == nil {
+		t.Fatal("lifted f not found")
+	}
+	if len(fDecl.Captures) != 1 || !strings.HasPrefix(fDecl.Captures[0], "a") {
+		t.Errorf("f captures = %v, want [a]", fDecl.Captures)
+	}
+}
+
+func TestMutualRecursionCapturesAndFlags(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let k = 3
+      even(n) if is_equal(n, 0) then 1 else odd(sub(n, 1))
+      odd(n) if is_equal(n, 0) then 0 else even(sub(n, k))
+  in even(8)
+`)
+	var even, odd *ast.FuncDecl
+	for name, fn := range info.Funcs {
+		switch {
+		case strings.HasPrefix(name, "main$even"):
+			even = fn.Decl
+		case strings.HasPrefix(name, "main$odd"):
+			odd = fn.Decl
+		}
+	}
+	if even == nil || odd == nil {
+		t.Fatal("lifted functions missing")
+	}
+	if !even.Recursive || !odd.Recursive {
+		t.Errorf("mutual recursion not detected: even=%v odd=%v", even.Recursive, odd.Recursive)
+	}
+	// odd captures k; even must transitively capture it.
+	if len(odd.Captures) != 1 || len(even.Captures) != 1 {
+		t.Errorf("captures: even=%v odd=%v", even.Captures, odd.Captures)
+	}
+	if info.Main().Decl.Recursive {
+		t.Error("main is not recursive")
+	}
+}
+
+func TestSelfRecursionFlag(t *testing.T) {
+	info := analyzeOK(t, `
+fact(n) if is_equal(n, 0) then 1 else mul(n, fact(sub(n, 1)))
+main() fact(5)
+`)
+	if !info.Funcs["fact"].Decl.Recursive {
+		t.Error("fact should be recursive")
+	}
+	if info.Main().Decl.Recursive {
+		t.Error("main should not be recursive")
+	}
+}
+
+func TestQueensProgramAnalyzes(t *testing.T) {
+	src := `
+main()
+  let board = empty_board()
+  in show_solutions(do_it(board,1))
+
+do_it(board,queen)
+  let h1 = try(board,queen,1)
+      h2 = try(board,queen,2)
+  in merge(h1,h2)
+
+try(board,queen,location)
+  let new_board = add_queen(board,queen,location)
+  in if is_valid(new_board)
+      then if is_equal(queen,8)
+            then new_board
+            else do_it(new_board,incr(queen))
+      else NULL
+`
+	var diags source.DiagList
+	prog := parser.Parse("q.dlr", src, &diags)
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{Name: "empty_board", Arity: 0, Fn: dummyFn})
+	reg.MustRegister(&operator.Operator{Name: "show_solutions", Arity: 1, Fn: dummyFn})
+	reg.MustRegister(&operator.Operator{Name: "add_queen", Arity: 3, Fn: dummyFn})
+	reg.MustRegister(&operator.Operator{Name: "is_valid", Arity: 1, Fn: dummyFn})
+	info := Analyze(prog, reg, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("queens should analyze: %v", diags.Err())
+	}
+	doIt := info.Funcs["do_it"]
+	tryF := info.Funcs["try"]
+	if !doIt.Decl.Recursive || !tryF.Decl.Recursive {
+		t.Error("do_it and try are mutually recursive")
+	}
+}
+
+func TestIterateScoping(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let limit = 5
+  in iterate { i = 0, incr(i) } while lt(i, limit), result i
+`)
+	it := info.Main().Decl.Body.(*ast.Let).Body.(*ast.Iterate)
+	if id := findIdent(it.Vars[0].Next, "i"); id == nil || id.Ref != ast.RefLet {
+		t.Errorf("loop var use in Next resolved to %+v", id)
+	}
+	if id := findIdent(it.Cond, "limit"); id == nil || id.Ref != ast.RefLet {
+		t.Errorf("enclosing use in Cond resolved to %+v", id)
+	}
+}
+
+func TestIterateInitCannotSeeLoopVars(t *testing.T) {
+	analyzeErr(t, "main() iterate { i = incr(i), incr(i) } while lt(i,3), result i", "undefined name i")
+}
+
+func TestIterateDuplicateVar(t *testing.T) {
+	analyzeErr(t, "main() iterate { i = 0, incr(i) i = 1, incr(i) } while lt(i,3), result i", "bound more than once")
+}
+
+func TestTailMarking(t *testing.T) {
+	info := analyzeOK(t, `
+loop(n) if is_equal(n, 0) then 0 else loop(sub(n, 1))
+main() loop(3)
+`)
+	body := info.Funcs["loop"].Decl.Body.(*ast.If)
+	tail := body.Else.(*ast.Call)
+	if !tail.Tail {
+		t.Error("recursive call in else branch should be marked tail")
+	}
+	inner := tail.Args[0].(*ast.Call)
+	if inner.Tail {
+		t.Error("argument call must not be marked tail")
+	}
+	mainCall := info.Main().Decl.Body.(*ast.Call)
+	if !mainCall.Tail {
+		t.Error("function body call is a tail call")
+	}
+}
+
+func TestTailMarkingThroughLet(t *testing.T) {
+	info := analyzeOK(t, `
+f(n) let x = incr(n) in f(x)
+main() f(1)
+`)
+	let := info.Funcs["f"].Decl.Body.(*ast.Let)
+	if !let.Body.(*ast.Call).Tail {
+		t.Error("let body call should be tail")
+	}
+	if let.Binds[0].Init.(*ast.Call).Tail {
+		t.Error("binding init must not be tail")
+	}
+}
+
+func TestFreeNames(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let a = 1
+      b = 2
+  in iterate { i = a, add(i, b) } while lt(i, a), result i
+`)
+	it := info.Main().Decl.Body.(*ast.Let).Body.(*ast.Iterate)
+	var loopVars []string
+	for _, v := range it.Vars {
+		loopVars = append(loopVars, v.Name)
+	}
+	free := FreeNames(info, []ast.Expr{it.Cond, it.Result, it.Vars[0].Next}, loopVars)
+	if len(free) != 2 {
+		t.Fatalf("free = %v, want a and b", free)
+	}
+	if !strings.HasPrefix(free[0], "a") || !strings.HasPrefix(free[1], "b") {
+		t.Errorf("free = %v", free)
+	}
+}
+
+func TestFreeNamesIncludesFunctionCaptures(t *testing.T) {
+	info := analyzeOK(t, `
+main()
+  let k = 7
+      addk(v) add(v, k)
+  in iterate { i = 0, addk(i) } while lt(i, 3), result i
+`)
+	it := info.Main().Decl.Body.(*ast.Let).Body.(*ast.Iterate)
+	free := FreeNames(info, []ast.Expr{it.Vars[0].Next, it.Cond, it.Result}, []string{it.Vars[0].Name})
+	// Calling addk requires its capture k to be forwarded.
+	found := false
+	for _, n := range free {
+		if strings.HasPrefix(n, "k") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("free = %v, want k (capture of addk)", free)
+	}
+}
+
+func TestInputProgramNotMutated(t *testing.T) {
+	src := `
+main()
+  let x = 1
+  in let x = 2
+     in incr(x)
+`
+	var diags source.DiagList
+	prog := parser.Parse("t.dlr", src, &diags)
+	before := ast.PrintProgram(prog)
+	Analyze(prog, operator.Builtins(), &diags)
+	if after := ast.PrintProgram(prog); after != before {
+		t.Errorf("Analyze mutated its input:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	info := analyzeOK(t, "main() 1")
+	if !strings.Contains(info.String(), "1 functions") {
+		t.Errorf("String = %q", info.String())
+	}
+}
+
+var dummyFn operator.Func = func(operator.Context, []value.Value) (value.Value, error) {
+	return value.Null{}, nil
+}

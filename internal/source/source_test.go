@@ -1,0 +1,133 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	tests := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, "<unknown>"},
+		{Pos{Line: 3, Col: 7}, "3:7"},
+		{Pos{File: "a.dlr", Line: 3, Col: 7}, "a.dlr:3:7"},
+	}
+	for _, tt := range tests {
+		if got := tt.pos.String(); got != tt.want {
+			t.Errorf("Pos%+v.String() = %q, want %q", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestPosIsValid(t *testing.T) {
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if !(Pos{Line: 1, Col: 1}).IsValid() {
+		t.Error("1:1 should be valid")
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := Pos{Line: 1, Col: 5}
+	b := Pos{Line: 2, Col: 1}
+	c := Pos{Line: 2, Col: 9}
+	if !a.Before(b) || !b.Before(c) || c.Before(a) {
+		t.Errorf("ordering wrong: a<b=%v b<c=%v c<a=%v", a.Before(b), b.Before(c), c.Before(a))
+	}
+	if a.Before(a) {
+		t.Error("Before must be strict")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" || Note.String() != "note" {
+		t.Errorf("severity names wrong: %v %v %v", Error, Warning, Note)
+	}
+	if got := Severity(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown severity should embed its value, got %q", got)
+	}
+}
+
+func TestDiagListErrorsAndWarnings(t *testing.T) {
+	var l DiagList
+	if l.HasErrors() {
+		t.Fatal("fresh list should have no errors")
+	}
+	l.Warnf(Pos{Line: 1, Col: 1}, "w1")
+	if l.HasErrors() {
+		t.Fatal("warnings must not count as errors")
+	}
+	l.Errorf(Pos{Line: 2, Col: 1}, "bad %s", "thing")
+	l.Notef(Pos{Line: 2, Col: 1}, "declared here")
+	if !l.HasErrors() {
+		t.Fatal("expected errors after Errorf")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err should be non-nil with errors recorded")
+	}
+	if !strings.Contains(err.Error(), "bad thing") {
+		t.Errorf("error text missing formatted message: %q", err)
+	}
+}
+
+func TestDiagListErrNilWhenClean(t *testing.T) {
+	var l DiagList
+	l.Warnf(Pos{Line: 1, Col: 1}, "just a warning")
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil for warning-only list", err)
+	}
+}
+
+func TestDiagListMerge(t *testing.T) {
+	var a, b DiagList
+	a.Errorf(Pos{Line: 1, Col: 1}, "e1")
+	b.Errorf(Pos{Line: 2, Col: 1}, "e2")
+	b.Warnf(Pos{Line: 3, Col: 1}, "w1")
+	a.Merge(&b)
+	a.Merge(nil) // must not panic
+	if a.Len() != 3 {
+		t.Fatalf("merged Len = %d, want 3", a.Len())
+	}
+	if !a.HasErrors() {
+		t.Fatal("merged list should report errors")
+	}
+}
+
+func TestDiagListSortDeterministic(t *testing.T) {
+	var l DiagList
+	l.Errorf(Pos{File: "b.dlr", Line: 1, Col: 1}, "third")
+	l.Errorf(Pos{File: "a.dlr", Line: 9, Col: 2}, "second")
+	l.Errorf(Pos{File: "a.dlr", Line: 9, Col: 1}, "first")
+	l.Sort()
+	d := l.Diags()
+	if d[0].Message != "first" || d[1].Message != "second" || d[2].Message != "third" {
+		t.Errorf("sorted order wrong: %v", d)
+	}
+}
+
+func TestDiagListSortStable(t *testing.T) {
+	var l DiagList
+	p := Pos{File: "a.dlr", Line: 1, Col: 1}
+	l.Errorf(p, "one")
+	l.Notef(p, "two")
+	l.Sort()
+	d := l.Diags()
+	if d[0].Message != "one" || d[1].Message != "two" {
+		t.Errorf("stable sort violated: %v", d)
+	}
+}
+
+func TestDiagnosticError(t *testing.T) {
+	d := Diagnostic{Pos: Pos{File: "x.dlr", Line: 4, Col: 2}, Severity: Error, Message: "boom"}
+	want := "x.dlr:4:2: error: boom"
+	if got := d.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,309 @@
+// Package treewalk implements the three parallel tree-walking strategies
+// the parallel compiler is built from (§6.2):
+//
+//  1. top-down update — update each node as it is encountered; an update
+//     may rely on every ancestor having been updated first;
+//  2. inherited-attribute update — compute an attribute on the way down and
+//     hand each node the accumulated package;
+//  3. synthesized-attribute update — walk bottom-up, updating a node from
+//     values computed for its children.
+//
+// Each walk traverses the crown of the tree sequentially, clipping off
+// subtrees; sets of subtrees are allocated to workers and handled
+// independently; at the end the pieces merge back into a single tree
+// ("merging" is implicit — the tree is updated in place). To keep the sets
+// balanced, every node is annotated with the weight of the subtree below
+// it; the crown traversal clips a subtree once it weighs less than
+// one-third of the per-worker target (§6.2).
+package treewalk
+
+import "sync"
+
+// Node is a generic weighted tree node. Data carries the application
+// payload; Weight the node's own cost (1 is typical).
+type Node struct {
+	Weight   int
+	Data     interface{}
+	Children []*Node
+
+	subtree int // annotated subtree weight, set by Annotate
+}
+
+// SubtreeWeight returns the annotated weight (valid after Annotate).
+func (n *Node) SubtreeWeight() int { return n.subtree }
+
+// Annotate computes subtree weights bottom-up and returns the total.
+func Annotate(root *Node) int {
+	if root == nil {
+		return 0
+	}
+	w := root.Weight
+	for _, c := range root.Children {
+		w += Annotate(c)
+	}
+	root.subtree = w
+	return w
+}
+
+// Count returns the number of nodes.
+func Count(root *Node) int {
+	if root == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range root.Children {
+		n += Count(c)
+	}
+	return n
+}
+
+// clipPlan is the crown decomposition: the crown nodes (in preorder) and
+// the clipped subtrees with their crown parents.
+type clipPlan struct {
+	crown []*Node
+	clips []*Node
+}
+
+// clip separates the tree into a crown and subtrees of at most
+// targetWeight/3 each (or leaves). Must run after Annotate.
+func clip(root *Node, targetWeight int) clipPlan {
+	limit := targetWeight / 3
+	if limit < 1 {
+		limit = 1
+	}
+	var plan clipPlan
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.subtree <= limit {
+			plan.clips = append(plan.clips, n)
+			return
+		}
+		plan.crown = append(plan.crown, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return plan
+}
+
+// assign distributes clipped subtrees over workers by greedy weight
+// balancing, preserving deterministic assignment.
+func assign(clips []*Node, workers int) [][]*Node {
+	if workers < 1 {
+		workers = 1
+	}
+	sets := make([][]*Node, workers)
+	loads := make([]int, workers)
+	for _, c := range clips {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		sets[best] = append(sets[best], c)
+		loads[best] += c.subtree
+	}
+	return sets
+}
+
+// runSets processes each worker's subtree set on its own goroutine.
+func runSets(sets [][]*Node, fn func(*Node)) {
+	var wg sync.WaitGroup
+	for _, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(set []*Node) {
+			defer wg.Done()
+			for _, n := range set {
+				fn(n)
+			}
+		}(set)
+	}
+	wg.Wait()
+}
+
+// TopDown applies update to every node, parents before children, using the
+// given number of workers. The crown is updated sequentially; clipped
+// subtrees proceed in parallel.
+func TopDown(root *Node, workers int, update func(*Node)) {
+	if root == nil {
+		return
+	}
+	total := Annotate(root)
+	plan := clip(root, perWorker(total, workers))
+	for _, n := range plan.crown {
+		update(n)
+	}
+	var all func(n *Node)
+	all = func(n *Node) {
+		update(n)
+		for _, c := range n.Children {
+			all(c)
+		}
+	}
+	runSets(assign(plan.clips, workers), all)
+}
+
+// Inherited computes an attribute flowing downward: each node receives the
+// attribute of its parent combined through acc. The crown accumulates
+// sequentially; clipped subtrees continue in parallel from the attribute
+// value at their clip point.
+func Inherited(root *Node, workers int, seed interface{},
+	acc func(n *Node, inherited interface{}) interface{}) {
+	if root == nil {
+		return
+	}
+	total := Annotate(root)
+	plan := clip(root, perWorker(total, workers))
+	inCrown := make(map[*Node]bool, len(plan.crown))
+	for _, n := range plan.crown {
+		inCrown[n] = true
+	}
+	type job struct {
+		n         *Node
+		inherited interface{}
+	}
+	var jobs []job
+	var down func(n *Node, inherited interface{})
+	down = func(n *Node, inherited interface{}) {
+		out := acc(n, inherited)
+		for _, c := range n.Children {
+			if inCrown[c] {
+				down(c, out)
+			} else {
+				jobs = append(jobs, job{n: c, inherited: out})
+			}
+		}
+	}
+	down(root, seed)
+
+	// Balance the clipped jobs over workers.
+	if workers < 1 {
+		workers = 1
+	}
+	sets := make([][]job, workers)
+	loads := make([]int, workers)
+	for _, j := range jobs {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		sets[best] = append(sets[best], j)
+		loads[best] += j.n.subtree
+	}
+	var wg sync.WaitGroup
+	for _, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(set []job) {
+			defer wg.Done()
+			var seq func(n *Node, inherited interface{})
+			seq = func(n *Node, inherited interface{}) {
+				out := acc(n, inherited)
+				for _, c := range n.Children {
+					seq(c, out)
+				}
+			}
+			for _, j := range set {
+				seq(j.n, j.inherited)
+			}
+		}(set)
+	}
+	wg.Wait()
+}
+
+// Synthesized computes a bottom-up attribute: combine receives the node and
+// its children's attributes. Clipped subtrees are computed in parallel;
+// the crown then finishes the pass with the subtree values in place
+// (§6.2: "the synthesized attribute walk must run over the crown of the
+// tree finishing the pass now that the values for the subtrees have been
+// computed").
+func Synthesized(root *Node, workers int,
+	combine func(n *Node, children []interface{}) interface{}) interface{} {
+	if root == nil {
+		return nil
+	}
+	total := Annotate(root)
+	plan := clip(root, perWorker(total, workers))
+
+	results := sync.Map{} // *Node -> interface{}
+	var up func(n *Node) interface{}
+	up = func(n *Node) interface{} {
+		vals := make([]interface{}, len(n.Children))
+		for i, c := range n.Children {
+			vals[i] = up(c)
+		}
+		return combine(n, vals)
+	}
+	runSets(assign(plan.clips, workers), func(n *Node) {
+		results.Store(n, up(n))
+	})
+
+	inCrown := make(map[*Node]bool, len(plan.crown))
+	for _, n := range plan.crown {
+		inCrown[n] = true
+	}
+	var finish func(n *Node) interface{}
+	finish = func(n *Node) interface{} {
+		if !inCrown[n] {
+			v, _ := results.Load(n)
+			return v
+		}
+		vals := make([]interface{}, len(n.Children))
+		for i, c := range n.Children {
+			vals[i] = finish(c)
+		}
+		return combine(n, vals)
+	}
+	return finish(root)
+}
+
+// perWorker is the clip target: total weight divided by workers.
+func perWorker(total, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	t := total / workers
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Build constructs a deterministic random-shaped tree for tests and
+// benchmarks: n nodes, branching up to fanout, weights of 1.
+func Build(n, fanout int, seed int64) *Node {
+	if n <= 0 {
+		return nil
+	}
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(bound int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(bound))
+	}
+	root := &Node{Weight: 1, Data: 0}
+	nodes := []*Node{root}
+	for i := 1; i < n; i++ {
+		nd := &Node{Weight: 1, Data: i}
+		for {
+			p := nodes[next(len(nodes))]
+			if len(p.Children) < fanout {
+				p.Children = append(p.Children, nd)
+				break
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	return root
+}

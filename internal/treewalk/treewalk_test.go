@@ -1,0 +1,215 @@
+package treewalk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnnotateAndCount(t *testing.T) {
+	root := &Node{Weight: 1, Children: []*Node{
+		{Weight: 2},
+		{Weight: 3, Children: []*Node{{Weight: 4}}},
+	}}
+	if got := Annotate(root); got != 10 {
+		t.Errorf("Annotate = %d, want 10", got)
+	}
+	if root.SubtreeWeight() != 10 {
+		t.Errorf("SubtreeWeight = %d", root.SubtreeWeight())
+	}
+	if got := Count(root); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if Annotate(nil) != 0 || Count(nil) != 0 {
+		t.Error("nil tree should be empty")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(500, 4, 9)
+	b := Build(500, 4, 9)
+	if Count(a) != 500 || Count(b) != 500 {
+		t.Fatalf("Count = %d, %d", Count(a), Count(b))
+	}
+	// Same shape: compare preorder data.
+	var flat func(n *Node, out *[]int)
+	flat = func(n *Node, out *[]int) {
+		*out = append(*out, n.Data.(int))
+		for _, c := range n.Children {
+			flat(c, out)
+		}
+	}
+	var fa, fb []int
+	flat(a, &fa)
+	flat(b, &fb)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("shapes differ at %d", i)
+		}
+	}
+}
+
+func TestTopDownVisitsAllOnceParentsFirst(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		root := Build(2000, 3, 5)
+		depth := sync.Map{} // *Node -> depth at visit
+		// Record each node's depth as parent depth + 1; a child visited
+		// before its parent would find no parent entry.
+		parents := map[*Node]*Node{}
+		var link func(n *Node)
+		link = func(n *Node) {
+			for _, c := range n.Children {
+				parents[c] = n
+				link(c)
+			}
+		}
+		link(root)
+		var visits int64
+		ok := int64(1)
+		TopDown(root, workers, func(n *Node) {
+			atomic.AddInt64(&visits, 1)
+			p := parents[n]
+			if p == nil {
+				depth.Store(n, 0)
+				return
+			}
+			pd, found := depth.Load(p)
+			if !found {
+				atomic.StoreInt64(&ok, 0)
+				return
+			}
+			depth.Store(n, pd.(int)+1)
+		})
+		if visits != 2000 {
+			t.Errorf("workers=%d: visits = %d, want 2000", workers, visits)
+		}
+		if ok != 1 {
+			t.Errorf("workers=%d: a node was visited before its parent", workers)
+		}
+	}
+}
+
+func TestInheritedAttribute(t *testing.T) {
+	// Attribute = depth; node stores it into Data via acc.
+	for _, workers := range []int{1, 3} {
+		root := Build(1500, 4, 11)
+		depths := sync.Map{}
+		Inherited(root, workers, 0, func(n *Node, inherited interface{}) interface{} {
+			d := inherited.(int)
+			depths.Store(n, d)
+			return d + 1
+		})
+		// Verify against a sequential recomputation.
+		bad := 0
+		var check func(n *Node, d int)
+		check = func(n *Node, d int) {
+			got, ok := depths.Load(n)
+			if !ok || got.(int) != d {
+				bad++
+			}
+			for _, c := range n.Children {
+				check(c, d+1)
+			}
+		}
+		check(root, 0)
+		if bad != 0 {
+			t.Errorf("workers=%d: %d nodes with wrong inherited attribute", workers, bad)
+		}
+	}
+}
+
+func TestSynthesizedAttribute(t *testing.T) {
+	// Attribute = subtree node count.
+	for _, workers := range []int{1, 2, 8} {
+		root := Build(3000, 5, 13)
+		got := Synthesized(root, workers, func(n *Node, children []interface{}) interface{} {
+			total := 1
+			for _, c := range children {
+				total += c.(int)
+			}
+			return total
+		})
+		if got.(int) != 3000 {
+			t.Errorf("workers=%d: synthesized count = %v, want 3000", workers, got)
+		}
+	}
+}
+
+func TestSynthesizedMatchesSequentialProperty(t *testing.T) {
+	// Property: the parallel synthesized walk computes the same value as a
+	// purely sequential fold, for varying tree shapes and worker counts.
+	f := func(nodes uint16, fanout uint8, seed int64, workers uint8) bool {
+		n := int(nodes%2000) + 1
+		fo := int(fanout%6) + 1
+		w := int(workers%8) + 1
+		root := Build(n, fo, seed)
+		sum := func(n *Node, children []interface{}) interface{} {
+			total := n.Data.(int)
+			for _, c := range children {
+				total += c.(int)
+			}
+			return total
+		}
+		par := Synthesized(root, w, sum)
+		var seq func(n *Node) int
+		seq = func(n *Node) int {
+			total := n.Data.(int)
+			for _, c := range n.Children {
+				total += seq(c)
+			}
+			return total
+		}
+		return par.(int) == seq(root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipBalance(t *testing.T) {
+	root := Build(10000, 4, 17)
+	total := Annotate(root)
+	plan := clip(root, perWorker(total, 4))
+	if len(plan.clips) < 4 {
+		t.Fatalf("only %d clipped subtrees for 4 workers", len(plan.clips))
+	}
+	sets := assign(plan.clips, 4)
+	loads := make([]int, 4)
+	for i, set := range sets {
+		for _, n := range set {
+			loads[i] += n.SubtreeWeight()
+		}
+	}
+	minL, maxL := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	// Greedy balancing should keep the spread well under 2x.
+	if minL == 0 || float64(maxL)/float64(minL) > 2.0 {
+		t.Errorf("unbalanced clip assignment: %v", loads)
+	}
+}
+
+func TestWalksHandleNilAndTiny(t *testing.T) {
+	TopDown(nil, 4, func(*Node) { t.Error("visited nil tree") })
+	Inherited(nil, 4, 0, func(n *Node, i interface{}) interface{} { return i })
+	if v := Synthesized(nil, 4, nil); v != nil {
+		t.Error("nil tree should synthesize nil")
+	}
+	single := &Node{Weight: 1, Data: 7}
+	count := 0
+	TopDown(single, 8, func(*Node) { count++ })
+	if count != 1 {
+		t.Errorf("single-node TopDown visits = %d", count)
+	}
+	v := Synthesized(single, 8, func(n *Node, _ []interface{}) interface{} { return n.Data })
+	if v.(int) != 7 {
+		t.Errorf("single-node Synthesized = %v", v)
+	}
+}

@@ -1,0 +1,96 @@
+package value
+
+import "fmt"
+
+// FloatVec is a 1-D float payload, the workhorse of array-oriented
+// scientific operators.
+type FloatVec []float64
+
+// Copy returns an independent copy of the vector.
+func (v FloatVec) Copy() BlockData {
+	out := make(FloatVec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Size returns the element count.
+func (v FloatVec) Size() int { return len(v) }
+
+// IntVec is a 1-D integer payload.
+type IntVec []int64
+
+// Copy returns an independent copy of the vector.
+func (v IntVec) Copy() BlockData {
+	out := make(IntVec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Size returns the element count.
+func (v IntVec) Size() int { return len(v) }
+
+// FloatGrid is a dense row-major 2-D float payload used by the retina
+// model's layer arrays and the convolution operators.
+type FloatGrid struct {
+	Rows, Cols int
+	Cells      []float64
+}
+
+// NewFloatGrid allocates a zeroed Rows x Cols grid.
+func NewFloatGrid(rows, cols int) *FloatGrid {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("value: negative grid dimensions %dx%d", rows, cols))
+	}
+	return &FloatGrid{Rows: rows, Cols: cols, Cells: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (g *FloatGrid) At(r, c int) float64 { return g.Cells[r*g.Cols+c] }
+
+// Set stores v at (r, c).
+func (g *FloatGrid) Set(r, c int, v float64) { g.Cells[r*g.Cols+c] = v }
+
+// Row returns the slice aliasing row r.
+func (g *FloatGrid) Row(r int) []float64 { return g.Cells[r*g.Cols : (r+1)*g.Cols] }
+
+// Copy returns an independent copy of the grid.
+func (g *FloatGrid) Copy() BlockData {
+	out := &FloatGrid{Rows: g.Rows, Cols: g.Cols, Cells: make([]float64, len(g.Cells))}
+	copy(out.Cells, g.Cells)
+	return out
+}
+
+// Size returns the cell count.
+func (g *FloatGrid) Size() int { return len(g.Cells) }
+
+// SubGrid returns an independent copy of rows [r0, r1).
+func (g *FloatGrid) SubGrid(r0, r1 int) *FloatGrid {
+	if r0 < 0 || r1 > g.Rows || r0 > r1 {
+		panic(fmt.Sprintf("value: SubGrid[%d:%d) out of range for %d rows", r0, r1, g.Rows))
+	}
+	out := NewFloatGrid(r1-r0, g.Cols)
+	copy(out.Cells, g.Cells[r0*g.Cols:r1*g.Cols])
+	return out
+}
+
+// Opaque adapts an application-specific payload to BlockData using an
+// explicit copy function. Applications whose state is a struct (a chess
+// board, a parse tree, a scene description) wrap it in Opaque rather than
+// defining a new BlockData type.
+type Opaque struct {
+	Payload  interface{}
+	Words    int
+	CopyFunc func(interface{}) interface{}
+}
+
+// Copy applies CopyFunc; a nil CopyFunc marks an immutable payload that may
+// be shared structurally.
+func (o *Opaque) Copy() BlockData {
+	if o.CopyFunc == nil {
+		return &Opaque{Payload: o.Payload, Words: o.Words}
+	}
+	return &Opaque{Payload: o.CopyFunc(o.Payload), Words: o.Words, CopyFunc: o.CopyFunc}
+}
+
+// Size returns the declared word count.
+func (o *Opaque) Size() int { return o.Words }

@@ -1,0 +1,242 @@
+// Package value defines the runtime values exchanged between Delirium
+// operators: atomic values (null, booleans, integers, floats, strings),
+// multiple-value packages (tuples), first-class function closures, and
+// reference-counted shared memory blocks.
+//
+// Blocks implement the paper's data contention protocol: an operator may
+// destructively modify a block only when it possesses the sole reference to
+// it. The run-time system maintains reference counts in the blocks and copies
+// them when two or more operators need simultaneous write access (§2.1, §8).
+// Together with the per-argument destructive annotations on operators this
+// guarantees deterministic execution of the overall program.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind int
+
+// The complete set of Delirium value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindStr
+	KindTuple
+	KindBlock
+	KindClosure
+)
+
+// String returns the lower-case kind name used in runtime error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindStr:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	case KindBlock:
+		return "block"
+	case KindClosure:
+		return "closure"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is a runtime datum flowing along coordination-graph edges.
+// Implementations are immutable except for Block, whose mutation is guarded
+// by the sole-reference rule.
+type Value interface {
+	Kind() Kind
+	String() string
+}
+
+// Null is the distinguished NULL value used by programs such as the eight
+// queens backtracker to signal a failed branch.
+type Null struct{}
+
+// Kind returns KindNull.
+func (Null) Kind() Kind { return KindNull }
+
+// String returns "NULL".
+func (Null) String() string { return "NULL" }
+
+// Bool is a boolean value produced by predicate operators.
+type Bool bool
+
+// Kind returns KindBool.
+func (Bool) Kind() Kind { return KindBool }
+
+// String returns "true" or "false".
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// Int is a 64-bit integer atomic value.
+type Int int64
+
+// Kind returns KindInt.
+func (Int) Kind() Kind { return KindInt }
+
+// String returns the decimal rendering.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a 64-bit floating point atomic value.
+type Float float64
+
+// Kind returns KindFloat.
+func (Float) Kind() Kind { return KindFloat }
+
+// String returns the shortest representation that round-trips.
+func (f Float) String() string { return strconv.FormatFloat(float64(f), 'g', -1, 64) }
+
+// Str is a string atomic value.
+type Str string
+
+// Kind returns KindStr.
+func (Str) Kind() Kind { return KindStr }
+
+// String returns the quoted string.
+func (s Str) String() string { return strconv.Quote(string(s)) }
+
+// Tuple is a multiple-value package (§3 construct 2). Packages are put
+// together with <e1,...,en> syntax, decomposed by let bindings, and may be
+// used as operator arguments and return values.
+type Tuple []Value
+
+// Kind returns KindTuple.
+func (Tuple) Kind() Kind { return KindTuple }
+
+// String renders the package in source syntax, e.g. <1, 2, 3>.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v == nil {
+			b.WriteString("?")
+			continue
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// FuncRef abstracts a compiled function template so that closures can be
+// represented without importing the graph package. The coordination graph's
+// Template type implements it.
+type FuncRef interface {
+	// FuncName returns the Delirium-level function name ("" for anonymous).
+	FuncName() string
+	// ParamCount returns the number of parameters the function expects.
+	ParamCount() int
+}
+
+// Closure is a first-class function value: a pointer to the function's
+// coordination graph plus the values captured from enclosing scopes. When a
+// closure reaches a call-closure operator the run-time system expands the
+// graph dynamically (§3, §7).
+type Closure struct {
+	Fn  FuncRef
+	Env []Value
+}
+
+// Kind returns KindClosure.
+func (*Closure) Kind() Kind { return KindClosure }
+
+// String identifies the closure by function name and capture count.
+func (c *Closure) String() string {
+	name := "<anon>"
+	if c.Fn != nil && c.Fn.FuncName() != "" {
+		name = c.Fn.FuncName()
+	}
+	if len(c.Env) == 0 {
+		return fmt.Sprintf("closure(%s)", name)
+	}
+	return fmt.Sprintf("closure(%s/%d captured)", name, len(c.Env))
+}
+
+// Truthy converts a value used as a conditional test. Booleans test
+// themselves, integers test non-zero, and NULL is false; every other kind is
+// an error, reported by the caller with position information.
+func Truthy(v Value) (bool, error) {
+	switch x := v.(type) {
+	case Bool:
+		return bool(x), nil
+	case Int:
+		return x != 0, nil
+	case Null:
+		return false, nil
+	default:
+		return false, fmt.Errorf("cannot use %s value as condition", v.Kind())
+	}
+}
+
+// Equal reports structural equality for atomic values and tuples, and
+// identity for blocks and closures. It backs the is_equal builtin and the
+// compiler's constant-folding pass.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return Float(x) == y
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Float:
+			return x == y
+		case Int:
+			return x == Float(y)
+		}
+		return false
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Tuple:
+		y, ok := b.(Tuple)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case *Block:
+		y, ok := b.(*Block)
+		return ok && x == y
+	case *Closure:
+		y, ok := b.(*Closure)
+		return ok && x == y
+	default:
+		return false
+	}
+}

@@ -1,0 +1,150 @@
+package value
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindStr: "string", KindTuple: "tuple", KindBlock: "block", KindClosure: "closure",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind should embed value, got %q", got)
+	}
+}
+
+func TestAtomicValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null{}, KindNull},
+		{Bool(true), KindBool},
+		{Int(42), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("hi"), KindStr},
+		{Tuple{Int(1)}, KindTuple},
+		{NewBlock(FloatVec{1}), KindBlock},
+		{&Closure{}, KindClosure},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v.Kind() = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null{}, "NULL"},
+		{Bool(true), "true"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{Str("a\"b"), `"a\"b"`},
+		{Tuple{Int(1), Str("x")}, `<1, "x">`},
+		{Tuple{nil}, "<?>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+		err  bool
+	}{
+		{Bool(true), true, false},
+		{Bool(false), false, false},
+		{Int(0), false, false},
+		{Int(3), true, false},
+		{Null{}, false, false},
+		{Str("x"), false, true},
+		{Float(1), false, true},
+		{Tuple{}, false, true},
+	}
+	for _, c := range cases {
+		got, err := Truthy(c.v)
+		if (err != nil) != c.err {
+			t.Errorf("Truthy(%v) err = %v, want err=%v", c.v, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqualAtoms(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), true},
+		{Float(1), Int(1), true},
+		{Float(1.5), Float(1.5), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Int(1), false},
+		{Null{}, Null{}, true},
+		{Null{}, Int(0), false},
+		{nil, nil, true},
+		{Tuple{Int(1), Int(2)}, Tuple{Int(1), Int(2)}, true},
+		{Tuple{Int(1)}, Tuple{Int(1), Int(2)}, false},
+		{Tuple{Int(1)}, Int(1), false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualBlocksByIdentity(t *testing.T) {
+	a := NewBlock(FloatVec{1, 2})
+	b := NewBlock(FloatVec{1, 2})
+	if !Equal(a, a) {
+		t.Error("block must equal itself")
+	}
+	if Equal(a, b) {
+		t.Error("distinct blocks with equal payloads must not be Equal")
+	}
+	c1 := &Closure{}
+	c2 := &Closure{}
+	if !Equal(c1, c1) || Equal(c1, c2) {
+		t.Error("closures compare by identity")
+	}
+}
+
+func TestEqualIntFloatSymmetry(t *testing.T) {
+	f := func(i int64) bool {
+		return Equal(Int(i), Float(float64(i))) == Equal(Float(float64(i)), Int(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualReflexiveOnInts(t *testing.T) {
+	f := func(i int64) bool { return Equal(Int(i), Int(i)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
