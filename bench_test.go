@@ -10,6 +10,8 @@
 //	BenchmarkAffinityAblation     §9.3 affinity on the NUMA Butterfly
 //	BenchmarkTreeWalks*           §6.2 walk strategies
 //	BenchmarkQueens8              §3 example end to end (wall time)
+//	BenchmarkSchedulerQueens      real-executor work stealing across worker counts
+//	BenchmarkSchedulerJacobi      same, on the fork/join array workload
 //	BenchmarkRayTrace             application throughput (wall time)
 //	BenchmarkCircuitSim           application throughput (wall time)
 //	BenchmarkDispatch             real-executor scheduling cost per operator
@@ -25,6 +27,8 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/compile"
 	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/queens"
 	"repro/internal/ray"
@@ -223,6 +227,54 @@ func BenchmarkQueens8(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchScheduler measures Real-mode throughput of one program across
+// worker counts and surfaces the work-stealing counters — the scheduler
+// benchmark pair for the work-stealing ready queue (steals and parks per
+// run tell whether the pool actually spread the work or slept on it).
+func benchScheduler(b *testing.B, prog *graph.Program, maxOps int64) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			var steals, parks, contention float64
+			for i := 0; i < b.N; i++ {
+				eng := rt.New(prog, rt.Config{Mode: rt.Real, Workers: workers, MaxOps: maxOps})
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				st := eng.Stats()
+				steals += float64(st.Steals)
+				parks += float64(st.Parks)
+				contention += float64(st.StealContention)
+			}
+			b.ReportMetric(steals/float64(b.N), "steals/run")
+			b.ReportMetric(parks/float64(b.N), "parks/run")
+			b.ReportMetric(contention/float64(b.N), "contended/run")
+		})
+	}
+}
+
+// BenchmarkSchedulerQueens stresses the recursive-expansion path: the
+// backtracker floods the deques with PriRecursive work that thieves drain.
+func BenchmarkSchedulerQueens(b *testing.B) {
+	prog, err := queens.CompileProgram(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchScheduler(b, prog, 200_000_000)
+}
+
+// BenchmarkSchedulerJacobi stresses the fork/join + data-dependent-loop
+// path: four-way sweeps separated by sequential joins, so workers park and
+// wake every iteration.
+func BenchmarkSchedulerJacobi(b *testing.B) {
+	prog, err := jacobi.CompileProgram(jacobi.Config{N: 64, Tol: 1e-2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchScheduler(b, prog, 100_000_000)
 }
 
 func BenchmarkRayTrace(b *testing.B) {

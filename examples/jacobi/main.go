@@ -1,199 +1,18 @@
 // Command jacobi solves the Laplace equation on a 2-D grid with Jacobi
 // iteration — the array-layer workload shape that §2 says dominates
-// scientific code. The coordination program iterates sweeps until the
-// residual converges (a data-dependent loop exit), with each sweep forked
-// four ways over row bands; the pieces carry their band residuals to the
-// join, which folds them deterministically. The parallel result is
-// bit-identical to a plain sequential solver.
+// scientific code (see internal/jacobi for the operators and the
+// coordination program). The parallel result is bit-identical to a plain
+// sequential solver.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 
-	delirium "repro"
+	"repro/internal/jacobi"
+	"repro/internal/runtime"
 )
-
-const src = `
-define MAX_SWEEPS 10000
-
-main()
-  iterate
-  {
-    sweeps = 0, incr(sweeps)
-    st = jb_setup(),
-      let
-        <a,b,c,d> = jb_split(st)
-        ao = jb_sweep(a)
-        bo = jb_sweep(b)
-        co = jb_sweep(c)
-        do = jb_sweep(d)
-      in jb_join(ao,bo,co,do)
-  }
-  while and(lt(sweeps, MAX_SWEEPS), jb_unconverged(st)),
-  result st
-`
-
-// state is the solver's linear-ownership payload.
-type state struct {
-	n        int
-	tol      float64
-	u, v     []float64 // current and next grids, n x n
-	residual float64
-	sweeps   int
-}
-
-type piece struct {
-	idx      int
-	r0, r1   int
-	st       *state // piece 0 only
-	shared   *state // read u, write disjoint rows of v
-	residual float64
-}
-
-func newState(n int, tol float64) *state {
-	s := &state{n: n, tol: tol, residual: math.Inf(1)}
-	s.u = make([]float64, n*n)
-	s.v = make([]float64, n*n)
-	// Boundary condition: hot top edge with a sinusoidal profile.
-	for c := 0; c < n; c++ {
-		s.u[c] = 100 * math.Sin(math.Pi*float64(c)/float64(n-1))
-		s.v[c] = s.u[c]
-	}
-	return s
-}
-
-// sweepRows relaxes interior rows [r0, r1), writing v from u, and returns
-// the band's max update.
-func (s *state) sweepRows(r0, r1 int) float64 {
-	n := s.n
-	if r0 < 1 {
-		r0 = 1
-	}
-	if r1 > n-1 {
-		r1 = n - 1
-	}
-	var res float64
-	for r := r0; r < r1; r++ {
-		for c := 1; c < n-1; c++ {
-			i := r*n + c
-			nv := 0.25 * (s.u[i-1] + s.u[i+1] + s.u[i-n] + s.u[i+n])
-			if d := math.Abs(nv - s.u[i]); d > res {
-				res = d
-			}
-			s.v[i] = nv
-		}
-	}
-	return res
-}
-
-// reference runs the sequential solver to convergence.
-func reference(n int, tol float64, maxSweeps int) *state {
-	s := newState(n, tol)
-	for s.sweeps < maxSweeps {
-		s.residual = s.sweepRows(1, n-1)
-		s.u, s.v = s.v, s.u
-		copy(s.v, s.u)
-		s.sweeps++
-		if s.residual <= tol {
-			break
-		}
-	}
-	return s
-}
-
-func operators(n int, tol float64) *delirium.Registry {
-	reg := delirium.NewRegistry(delirium.Builtins())
-	stBlock := func(s *state, ctx delirium.Context) delirium.Value {
-		return delirium.NewBlock(&delirium.Opaque{Payload: s, Words: 2 * n * n})
-	}
-	pc := func(v delirium.Value, what string) (*piece, error) {
-		o := v.(*delirium.Block).Data().(*delirium.Opaque)
-		p, ok := o.Payload.(*piece)
-		if !ok {
-			return nil, fmt.Errorf("%s: bad payload %T", what, o.Payload)
-		}
-		return p, nil
-	}
-
-	reg.MustRegister(&delirium.Operator{
-		Name: "jb_setup", Arity: 0,
-		Fn: func(ctx delirium.Context, _ []delirium.Value) (delirium.Value, error) {
-			ctx.Charge(int64(n * n))
-			return stBlock(newState(n, tol), ctx), nil
-		},
-	})
-	reg.MustRegister(&delirium.Operator{
-		Name: "jb_split", Arity: 1, Destructive: []bool{true},
-		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
-			s := args[0].(*delirium.Block).Data().(*delirium.Opaque).Payload.(*state)
-			ctx.Charge(4)
-			out := make(delirium.Tuple, 4)
-			for i := 0; i < 4; i++ {
-				p := &piece{idx: i, r0: i * n / 4, r1: (i + 1) * n / 4, shared: s}
-				if i == 0 {
-					p.st = s
-				}
-				out[i] = delirium.NewBlock(&delirium.Opaque{Payload: p, Words: n})
-			}
-			return out, nil
-		},
-	})
-	reg.MustRegister(&delirium.Operator{
-		Name: "jb_sweep", Arity: 1, Destructive: []bool{true},
-		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
-			p, err := pc(args[0], "jb_sweep")
-			if err != nil {
-				return nil, err
-			}
-			p.residual = p.shared.sweepRows(p.r0, p.r1)
-			ctx.Charge(int64((p.r1 - p.r0) * n * 5))
-			return args[0], nil
-		},
-	})
-	reg.MustRegister(&delirium.Operator{
-		Name: "jb_join", Arity: 4, Destructive: []bool{true, true, true, true},
-		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
-			var s *state
-			var residuals [4]float64
-			for _, a := range args {
-				p, err := pc(a, "jb_join")
-				if err != nil {
-					return nil, err
-				}
-				if p.st != nil {
-					s = p.st
-				}
-				residuals[p.idx] = p.residual
-			}
-			if s == nil {
-				return nil, fmt.Errorf("jb_join: no piece carried the state")
-			}
-			s.residual = 0
-			for _, r := range residuals { // deterministic fold order
-				if r > s.residual {
-					s.residual = r
-				}
-			}
-			s.u, s.v = s.v, s.u
-			copy(s.v, s.u)
-			s.sweeps++
-			ctx.Charge(int64(n))
-			return stBlock(s, ctx), nil
-		},
-	})
-	reg.MustRegister(&delirium.Operator{
-		Name: "jb_unconverged", Arity: 1,
-		Fn: func(ctx delirium.Context, args []delirium.Value) (delirium.Value, error) {
-			s := args[0].(*delirium.Block).Data().(*delirium.Opaque).Payload.(*state)
-			ctx.Charge(1)
-			return delirium.Bool(s.residual > s.tol), nil
-		},
-	})
-	return reg
-}
 
 func main() {
 	n := flag.Int("n", 96, "grid size")
@@ -201,35 +20,23 @@ func main() {
 	workers := flag.Int("workers", 4, "worker goroutines")
 	flag.Parse()
 
+	cfg := jacobi.Config{N: *n, Tol: *tol}
 	fmt.Println("coordination framework:")
-	fmt.Print(src)
+	fmt.Print(jacobi.Source(cfg))
 	fmt.Println()
 
-	prog, err := delirium.Compile("jacobi.dlr", src, delirium.CompileOptions{Registry: operators(*n, *tol)})
+	s, eng, err := jacobi.Run(cfg, runtime.Config{
+		Mode: runtime.Real, Workers: *workers, MaxOps: 500_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, stats, _, err := prog.RunStats(delirium.RunConfig{
-		Mode: delirium.Real, Workers: *workers, MaxOps: 500_000_000})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := out.(*delirium.Block).Data().(*delirium.Opaque).Payload.(*state)
-	fmt.Printf("converged after %d sweeps, residual %.2e (%s)\n", s.sweeps, s.residual, stats)
+	fmt.Printf("converged after %d sweeps, residual %.2e (%s)\n", s.Sweeps, s.Residual, eng.Stats())
 
-	ref := reference(*n, *tol, 10000)
-	same := s.sweeps == ref.sweeps && s.residual == ref.residual
-	for i := range s.u {
-		if s.u[i] != ref.u[i] {
-			same = false
-			break
-		}
-	}
-	if same {
+	if jacobi.Matches(s, jacobi.Reference(cfg)) {
 		fmt.Println("solution is bit-identical to the sequential solver")
 	} else {
 		fmt.Println("WARNING: differs from sequential solver")
 	}
-	mid := s.u[(*n/2)*(*n)+(*n/2)]
+	mid := s.U[(*n/2)*(*n)+(*n/2)]
 	fmt.Printf("temperature at grid center: %.4f\n", mid)
 }

@@ -1,0 +1,45 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestMatchesSequentialReference runs the coordinated solver across worker
+// counts and checks each result is bit-identical to the sequential oracle
+// — the §8 determinism guarantee on a real array workload.
+func TestMatchesSequentialReference(t *testing.T) {
+	cfg := Config{N: 32, Tol: 1e-2}
+	ref := Reference(cfg)
+	if ref.Sweeps == 0 {
+		t.Fatal("reference did not iterate")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		s, eng, err := Run(cfg, runtime.Config{Mode: runtime.Real, Workers: workers, MaxOps: 100_000_000})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !Matches(s, ref) {
+			t.Errorf("workers=%d: solve diverged from the sequential reference (sweeps %d vs %d, residual %v vs %v)",
+				workers, s.Sweeps, ref.Sweeps, s.Residual, ref.Residual)
+		}
+		if eng.Stats().OpsExecuted == 0 {
+			t.Errorf("workers=%d: no ops recorded", workers)
+		}
+	}
+}
+
+// TestSimulatedModeRuns keeps the workload usable for the virtual-clock
+// executor too (machine-profile experiments schedule it).
+func TestSimulatedModeRuns(t *testing.T) {
+	cfg := Config{N: 16, Tol: 5e-2}
+	ref := Reference(cfg)
+	s, _, err := Run(cfg, runtime.Config{Mode: runtime.Simulated, Workers: 4, MaxOps: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Matches(s, ref) {
+		t.Error("simulated solve diverged from the sequential reference")
+	}
+}

@@ -15,7 +15,13 @@
 // A ready queue with three priority levels (normal operators, then
 // non-recursive subgraph expansions, then recursive expansions) keeps the
 // number of live activations small by making activations available for
-// reuse as early as possible.
+// reuse as early as possible. The real executor realizes those levels as a
+// work-stealing scheduler: every worker owns one Chase-Lev deque per
+// priority level (LIFO pop for cache locality, FIFO steal), a shared
+// lock-free injector receives pushes from outside the pool, and idle
+// workers spin briefly then park on a one-token parker woken by notifyOne
+// — the priority order is honored per worker and per steal attempt, so the
+// §7 scheme survives the decentralization (see stealqueue.go).
 //
 // Determinism is enforced through the data contention protocol of §8: all
 // shared memory is passed explicitly between operators as reference-counted
@@ -96,8 +102,9 @@ type Config struct {
 	Timing bool
 	// Affinity selects the simulated scheduler's placement policy.
 	Affinity AffinityPolicy
-	// DisablePriorities replaces the three-level ready queue with a single
-	// FIFO level — the ablation of §7's priority scheme.
+	// DisablePriorities collapses the three-level ready queue into a single
+	// level (a FIFO in Simulated mode, one deque per worker in Real mode) —
+	// the ablation of §7's priority scheme.
 	DisablePriorities bool
 	// MaxOps aborts runs exceeding this many operator executions (a guard
 	// against runaway recursion in tests); zero means no limit.
@@ -150,7 +157,6 @@ type Engine struct {
 	runErr  error
 
 	result atomic.Value // value.Value
-	done   chan struct{}
 
 	maxOps int64
 }
@@ -158,7 +164,7 @@ type Engine struct {
 // New prepares an engine for prog under cfg. The same program can be run by
 // many engines; templates are immutable.
 func New(prog *graph.Program, cfg Config) *Engine {
-	e := &Engine{prog: prog, cfg: cfg, done: make(chan struct{}), maxOps: cfg.MaxOps}
+	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps}
 	if cfg.Timing {
 		e.timing = NewTimingLog()
 	}
@@ -172,17 +178,19 @@ var ErrNoMain = errors.New("delirium: program has no main function")
 var ErrAlreadyRun = errors.New("delirium: engine already ran; create a new engine per execution")
 
 // Run executes the program's main function with the given arguments and
-// returns its value. Run may be called once per engine.
+// returns its value. Run may be called once per engine: only a Run that
+// passes validation consumes the engine, so a call rejected for a missing
+// main or an argument-count mismatch can be corrected and retried.
 func (e *Engine) Run(args ...value.Value) (value.Value, error) {
-	if !e.started.CompareAndSwap(false, true) {
-		return nil, ErrAlreadyRun
-	}
 	main := e.prog.Main
 	if main == nil {
 		return nil, ErrNoMain
 	}
 	if len(args) != main.NParams {
 		return nil, fmt.Errorf("delirium: main expects %d arguments, got %d", main.NParams, len(args))
+	}
+	if !e.started.CompareAndSwap(false, true) {
+		return nil, ErrAlreadyRun
 	}
 	switch e.cfg.Mode {
 	case Simulated:

@@ -1,16 +1,10 @@
 package runtime
 
-import (
-	"sync"
-
-	"repro/internal/graph"
-)
-
-// task is one runnable node of one activation.
-type task struct {
-	act  *activation
-	node *graph.Node
-}
+// serialQueue is the single-worker ready queue: the same three §7 priority
+// levels as the work-stealing scheduler, but with plain value-typed FIFOs —
+// a one-worker pool has no thieves, so it pays for no atomics, no parking,
+// and no per-task allocation. runReal selects it when Workers == 1; the
+// multi-worker path lives in stealqueue.go.
 
 // fifo is a queue level with O(1) amortized push/pop.
 type fifo struct {
@@ -34,54 +28,20 @@ func (f *fifo) pop() task {
 	return t
 }
 
-// readyQueue is the real executor's three-level priority ready queue (§7):
-// workers pop normal operators before non-recursive expansions before
-// recursive expansions, which drains existing activations early and makes
-// them available for reuse.
-type readyQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+// serialQueue holds the three priority levels.
+type serialQueue struct {
 	levels [numPriorities]fifo
-	closed bool
 }
 
-func newReadyQueue() *readyQueue {
-	q := &readyQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
+// push enqueues t at the given priority level.
+func (q *serialQueue) push(t task, pri Priority) { q.levels[pri].push(t) }
 
-// Push enqueues a task at the given priority level.
-func (q *readyQueue) Push(t task, pri Priority) {
-	q.mu.Lock()
-	q.levels[pri].push(t)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// Pop blocks for the highest-priority available task. ok is false once the
-// queue is closed and drained of nothing — closure abandons queued tasks by
-// design (close happens only at quiescence or on error).
-func (q *readyQueue) Pop() (t task, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if q.closed {
-			return task{}, false
+// pop takes the highest-priority available task; ok is false at quiescence.
+func (q *serialQueue) pop() (t task, ok bool) {
+	for pri := range q.levels {
+		if !q.levels[pri].empty() {
+			return q.levels[pri].pop(), true
 		}
-		for pri := range q.levels {
-			if !q.levels[pri].empty() {
-				return q.levels[pri].pop(), true
-			}
-		}
-		q.cond.Wait()
 	}
-}
-
-// Close wakes every waiting worker; subsequent Pops fail.
-func (q *readyQueue) Close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	return task{}, false
 }

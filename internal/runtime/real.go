@@ -11,33 +11,44 @@ import (
 )
 
 // runReal executes the program on a pool of worker goroutines — one per
-// configured processor — sharing the three-level priority ready queue.
+// configured processor — coordinated by the work-stealing scheduler in
+// stealqueue.go. Each worker schedules the nodes it makes runnable onto
+// its own priority deques (LIFO, so a producer's consumers run hot);
+// seeding goes through the shared injector; idle workers steal FIFO from
+// their peers, preserving the §7 priority order at every tier.
 //
 // Termination: the run ends at quiescence (no scheduled work left), which
 // is reached after the final result is produced and any straggling
 // side-effecting operators have drained. If quiescence arrives without a
 // result, the coordination graph deadlocked (a compiler bug, since sema
 // rejects circular data dependencies) and the run fails. Errors abort
-// immediately, abandoning queued work.
+// immediately, abandoning queued work and waking every parked worker.
 func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	nw := e.cfg.workers()
-	q := newReadyQueue()
+	if nw == 1 {
+		return e.runRealSerial(args)
+	}
+	s := newStealScheduler(nw, &e.stats)
 	var outstanding int64
 
-	sched := func(a *activation, n *graph.Node) {
+	bootSched := func(a *activation, n *graph.Node) {
 		atomic.AddInt64(&outstanding, 1)
-		q.Push(task{act: a, node: n}, e.classify(a, n))
+		s.pushInject(&task{act: a, node: n}, e.classify(a, n))
 	}
 
 	start := time.Now()
 	root := e.acquire(e.prog.Main)
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
-	boot := &worker{e: e, proc: 0, sched: sched}
+	boot := &worker{e: e, proc: 0, sched: bootSched}
 	e.initActivation(boot, root, args)
 
 	if atomic.LoadInt64(&outstanding) == 0 {
 		// The whole program evaluated during seeding (constant main) or
-		// nothing is runnable at all.
+		// nothing is runnable at all. The second case is the same
+		// quiescence-without-result failure the worker loop detects.
+		if !e.stopped.Load() {
+			e.fail(errDeadlock())
+		}
 		e.stats.RealNanos = int64(time.Since(start))
 		return e.takeResult()
 	}
@@ -47,11 +58,22 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		wg.Add(1)
 		go func(proc int) {
 			defer wg.Done()
-			w := &worker{e: e, proc: proc, sched: sched}
+			w := &worker{e: e, proc: proc}
+			w.sched = func(a *activation, n *graph.Node) {
+				atomic.AddInt64(&outstanding, 1)
+				s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
+			}
 			for {
-				t, ok := q.Pop()
-				if !ok {
+				if s.closed.Load() {
 					return
+				}
+				t := s.spinFind(proc)
+				if t == nil {
+					if s.closed.Load() {
+						return
+					}
+					s.park(proc)
+					continue
 				}
 				var t0 time.Time
 				if e.timing != nil {
@@ -59,7 +81,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 				}
 				if err := e.execNode(w, t.act, t.node); err != nil {
 					e.fail(err)
-					q.Close()
+					s.close()
 					return
 				}
 				if e.timing != nil && t.node.Kind == graph.OpNode {
@@ -73,9 +95,9 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 				}
 				if atomic.AddInt64(&outstanding, -1) == 0 {
 					if !e.stopped.Load() {
-						e.fail(fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)"))
+						e.fail(errDeadlock())
 					}
-					q.Close()
+					s.close()
 					return
 				}
 			}
@@ -84,6 +106,59 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	wg.Wait()
 	e.stats.RealNanos = int64(time.Since(start))
 	return e.takeResult()
+}
+
+// runRealSerial is the one-worker executor: same semantics, but the ready
+// queue degenerates to the plain three-level serialQueue (queue.go) — no
+// thieves exist, so the caller's goroutine runs the whole program without
+// atomics on the scheduling hot path or per-task allocation. Quiescence is
+// simply the queue running dry.
+func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
+	var q serialQueue
+	w := &worker{e: e, proc: 0}
+	w.sched = func(a *activation, n *graph.Node) {
+		q.push(task{act: a, node: n}, e.classify(a, n))
+	}
+
+	start := time.Now()
+	root := e.acquire(e.prog.Main)
+	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
+	e.initActivation(w, root, args)
+
+	for {
+		t, ok := q.pop()
+		if !ok {
+			break
+		}
+		var t0 time.Time
+		if e.timing != nil {
+			t0 = time.Now()
+		}
+		if err := e.execNode(w, t.act, t.node); err != nil {
+			e.fail(err)
+			break
+		}
+		if e.timing != nil && t.node.Kind == graph.OpNode {
+			e.timing.Add(TimingEntry{
+				Name:     t.node.Name,
+				Template: t.act.tmpl.Name,
+				Proc:     0,
+				Start:    int64(t0.Sub(start)),
+				Ticks:    int64(time.Since(t0)),
+			})
+		}
+	}
+	if !e.stopped.Load() {
+		e.fail(errDeadlock())
+	}
+	e.stats.RealNanos = int64(time.Since(start))
+	return e.takeResult()
+}
+
+// errDeadlock is the diagnostic both quiescence paths (seed-time and
+// worker-loop) report when scheduled work ran out without a result.
+func errDeadlock() error {
+	return fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)")
 }
 
 // takeResult extracts the final value or error after a run ends.

@@ -3,6 +3,7 @@ package runtime
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
@@ -11,70 +12,258 @@ import (
 	"repro/internal/value"
 )
 
-func TestFifoOrderAndCompaction(t *testing.T) {
-	var f fifo
-	dummy := &graph.Node{}
-	for i := 0; i < 500; i++ {
-		f.push(task{node: dummy, act: nil})
-	}
-	for i := 0; i < 500; i++ {
-		if f.empty() {
-			t.Fatalf("empty after %d pops", i)
-		}
-		f.pop()
-	}
-	if !f.empty() {
-		t.Fatal("should be empty")
-	}
-	// Interleaved pushes and pops exercise compaction.
-	for round := 0; round < 200; round++ {
-		f.push(task{node: dummy})
-		f.push(task{node: dummy})
-		f.pop()
-	}
-	count := 0
-	for !f.empty() {
-		f.pop()
-		count++
-	}
-	if count != 200 {
-		t.Errorf("drained %d, want 200", count)
-	}
-}
-
-func TestReadyQueuePriorityOrder(t *testing.T) {
-	q := newReadyQueue()
+func TestStealSchedulerPriorityOrder(t *testing.T) {
+	// A worker must drain its own deques normal-first, then the injector
+	// normal-first, then steal normal-first — §7's order at every tier.
 	nodes := map[Priority]*graph.Node{
 		PriNormal:    {Name: "normal"},
 		PriCall:      {Name: "call"},
 		PriRecursive: {Name: "recursive"},
 	}
-	// Push in reverse priority order; pops must come back normal-first.
-	q.Push(task{node: nodes[PriRecursive]}, PriRecursive)
-	q.Push(task{node: nodes[PriCall]}, PriCall)
-	q.Push(task{node: nodes[PriNormal]}, PriNormal)
-	want := []string{"normal", "call", "recursive"}
-	for _, w := range want {
-		tk, ok := q.Pop()
-		if !ok || tk.node.Name != w {
-			t.Fatalf("pop = %v/%v, want %s", tk.node, ok, w)
+	var stats Stats
+	s := newStealScheduler(2, &stats)
+	for _, tier := range []struct {
+		name string
+		push func(*task, Priority)
+	}{
+		{"local", func(tk *task, pri Priority) { s.pushLocal(0, tk, pri) }},
+		{"inject", s.pushInject},
+		{"victim", func(tk *task, pri Priority) { s.pushLocal(1, tk, pri) }},
+	} {
+		// Push in reverse priority order; finds must come back normal-first.
+		tier.push(&task{node: nodes[PriRecursive]}, PriRecursive)
+		tier.push(&task{node: nodes[PriCall]}, PriCall)
+		tier.push(&task{node: nodes[PriNormal]}, PriNormal)
+		for _, w := range []string{"normal", "call", "recursive"} {
+			tk := s.find(0)
+			if tk == nil || tk.node.Name != w {
+				t.Fatalf("%s tier: find = %v, want %s", tier.name, tk, w)
+			}
 		}
+		if tk := s.find(0); tk != nil {
+			t.Fatalf("%s tier: unexpected extra task %v", tier.name, tk)
+		}
+	}
+	if stats.Steals != 3 {
+		t.Errorf("Steals = %d, want 3 (victim tier)", stats.Steals)
 	}
 }
 
-func TestReadyQueueCloseWakesWaiters(t *testing.T) {
-	q := newReadyQueue()
+func TestWSDequeLIFOOwnerFIFOThief(t *testing.T) {
+	var d wsDeque
+	d.init()
+	mk := func(name string) *task { return &task{node: &graph.Node{Name: name}} }
+	d.push(mk("a"))
+	d.push(mk("b"))
+	d.push(mk("c"))
+	if tk := d.pop(); tk == nil || tk.node.Name != "c" {
+		t.Fatalf("owner pop = %v, want LIFO c", tk)
+	}
+	if tk, _ := d.steal(); tk == nil || tk.node.Name != "a" {
+		t.Fatalf("steal = %v, want FIFO a", tk)
+	}
+	if tk := d.pop(); tk == nil || tk.node.Name != "b" {
+		t.Fatalf("owner pop = %v, want b", tk)
+	}
+	if tk := d.pop(); tk != nil {
+		t.Fatalf("pop from empty = %v", tk)
+	}
+	if tk, retry := d.steal(); tk != nil || retry {
+		t.Fatalf("steal from empty = %v/%v", tk, retry)
+	}
+}
+
+func TestWSDequeGrowth(t *testing.T) {
+	var d wsDeque
+	d.init()
+	const n = wsInitialSize*4 + 7
+	for i := 0; i < n; i++ {
+		d.push(&task{node: &graph.Node{ID: i}})
+	}
+	// Steal half FIFO, pop the rest LIFO; every task seen exactly once.
+	seen := make(map[int]bool, n)
+	for i := 0; i < n/2; i++ {
+		tk, _ := d.steal()
+		if tk == nil {
+			t.Fatalf("steal %d failed", i)
+		}
+		if tk.node.ID != i {
+			t.Fatalf("steal %d = node %d, want FIFO order", i, tk.node.ID)
+		}
+		seen[tk.node.ID] = true
+	}
+	for {
+		tk := d.pop()
+		if tk == nil {
+			break
+		}
+		if seen[tk.node.ID] {
+			t.Fatalf("node %d drained twice", tk.node.ID)
+		}
+		seen[tk.node.ID] = true
+	}
+	if len(seen) != n {
+		t.Errorf("drained %d tasks, want %d", len(seen), n)
+	}
+}
+
+func TestWSDequeConcurrentStealers(t *testing.T) {
+	// One owner pushes and pops while thieves hammer steal: every task is
+	// claimed exactly once and none is lost.
+	const total = 20000
+	var d wsDeque
+	d.init()
+	counts := make([]int32, total)
+	var claimed int64
 	var wg sync.WaitGroup
+	stop := make(chan struct{})
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, ok := q.Pop(); ok {
-				t.Error("Pop after close should fail")
+			for {
+				tk, retry := d.steal()
+				if tk != nil {
+					atomic.AddInt32(&counts[tk.node.ID], 1)
+					atomic.AddInt64(&claimed, 1)
+					continue
+				}
+				if !retry {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
 			}
 		}()
 	}
-	q.Close()
+	for i := 0; i < total; i++ {
+		d.push(&task{node: &graph.Node{ID: i}})
+		if i%3 == 0 {
+			if tk := d.pop(); tk != nil {
+				atomic.AddInt32(&counts[tk.node.ID], 1)
+				atomic.AddInt64(&claimed, 1)
+			}
+		}
+	}
+	for atomic.LoadInt64(&claimed) < total {
+		if tk := d.pop(); tk != nil {
+			atomic.AddInt32(&counts[tk.node.ID], 1)
+			atomic.AddInt64(&claimed, 1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d claimed %d times", id, c)
+		}
+	}
+}
+
+func TestInjectorFIFOAndConcurrency(t *testing.T) {
+	var q injQueue
+	q.init()
+	for i := 0; i < 100; i++ {
+		q.push(&task{node: &graph.Node{ID: i}})
+	}
+	for i := 0; i < 100; i++ {
+		tk := q.pop()
+		if tk == nil || tk.node.ID != i {
+			t.Fatalf("pop %d = %v, want FIFO order", i, tk)
+		}
+	}
+	if q.pop() != nil || !q.isEmpty() {
+		t.Fatal("queue should be empty")
+	}
+	// Concurrent producers and consumers: nothing lost, nothing doubled.
+	const perProducer = 5000
+	counts := make([]int32, 4*perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.push(&task{node: &graph.Node{ID: p*perProducer + i}})
+			}
+		}(p)
+	}
+	var got int64
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for atomic.LoadInt64(&got) < int64(len(counts)) {
+				if tk := q.pop(); tk != nil {
+					atomic.AddInt32(&counts[tk.node.ID], 1)
+					atomic.AddInt64(&got, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d seen %d times", id, c)
+		}
+	}
+}
+
+func TestStealSchedulerCloseWakesParked(t *testing.T) {
+	var stats Stats
+	s := newStealScheduler(4, &stats)
+	var wg sync.WaitGroup
+	for w := 1; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if s.closed.Load() {
+					return
+				}
+				if tk := s.find(w); tk == nil {
+					s.park(w)
+				}
+			}
+		}(w)
+	}
+	s.close()
+	wg.Wait() // deadlocks here (test timeout) if close loses a parked worker
+	if tk := s.find(0); tk != nil {
+		t.Errorf("found task in empty closed scheduler: %v", tk)
+	}
+}
+
+func TestStealSchedulerNotifyReachesParked(t *testing.T) {
+	// A worker parks; a push from another worker must wake it.
+	var stats Stats
+	s := newStealScheduler(2, &stats)
+	got := make(chan *task, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if tk := s.find(1); tk != nil {
+				got <- tk
+				return
+			}
+			if s.closed.Load() {
+				return
+			}
+			s.park(1)
+		}
+	}()
+	s.pushLocal(0, &task{node: &graph.Node{Name: "wake"}}, PriNormal)
+	tk := <-got
+	if tk.node.Name != "wake" {
+		t.Fatalf("woke with %v", tk)
+	}
+	s.close()
 	wg.Wait()
 }
 

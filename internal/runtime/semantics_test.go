@@ -210,6 +210,48 @@ main()
 	}
 }
 
+// TestRealDeterminismAcrossSchedulers is the §8 block-protocol guarantee
+// exercised against the work-stealing executor: the same program must
+// produce identical results at 1, 2, and 8 workers, and under the FIFO
+// ablation (DisablePriorities) — scheduling may reorder execution, never
+// change the answer.
+func TestRealDeterminismAcrossSchedulers(t *testing.T) {
+	src := `
+tree(d)
+  if is_equal(d, 0)
+    then 1
+    else let a = tree(sub(d, 1))
+             b = tree(sub(d, 1))
+         in add(mul(a, 3), b)
+main(n)
+  let deep = tree(7)
+      loop = iterate { i = 0, incr(i)
+                       acc = 0, add(acc, mul(i, i)) } while lt(i, n),
+             result acc
+  in <deep, loop, strcat("n=", n)>
+`
+	g := compile(t, src, nil)
+	var want value.Value
+	for _, cfg := range []Config{
+		{Mode: Real, Workers: 1},
+		{Mode: Real, Workers: 2},
+		{Mode: Real, Workers: 8},
+		{Mode: Real, Workers: 8, DisablePriorities: true},
+	} {
+		cfg.MaxOps = 10_000_000
+		e := New(g, cfg)
+		v, err := e.Run(value.Int(50))
+		if err != nil {
+			t.Fatalf("workers=%d disable=%v: %v", cfg.Workers, cfg.DisablePriorities, err)
+		}
+		if want == nil {
+			want = v
+		} else if !value.Equal(v, want) {
+			t.Errorf("workers=%d disable=%v: %v != %v", cfg.Workers, cfg.DisablePriorities, v, want)
+		}
+	}
+}
+
 func TestRecursionThroughClosureOnly(t *testing.T) {
 	// The classic: recursion reached through a first-class value.
 	src := `

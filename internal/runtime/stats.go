@@ -38,6 +38,16 @@ type Stats struct {
 	TailCalls int64
 	// ChargedUnits is total work charged by operators via Context.Charge.
 	ChargedUnits int64
+	// Work-stealing scheduler counters (Real mode). Steals counts tasks
+	// taken FIFO from another worker's deque; StealContention counts steal
+	// CAS attempts lost to a racing thief or owner; Parks counts workers
+	// going to sleep after an empty spin-then-steal sweep; InjectedTasks
+	// counts tasks routed through the shared injector (seeding and any
+	// other push from outside the worker pool).
+	Steals          int64
+	StealContention int64
+	Parks           int64
+	InjectedTasks   int64
 	// Blocks aggregates reference-count traffic (copies = the price of the
 	// determinism guarantee).
 	Blocks value.BlockStats
@@ -97,11 +107,12 @@ func (s *Stats) Utilization() float64 {
 
 // String summarizes the counters.
 func (s *Stats) String() string {
-	return fmt.Sprintf("ops=%d operators=%d activations=%d(+%d reused) peak=%d tail=%d charged=%d copies=%d",
+	return fmt.Sprintf("ops=%d operators=%d activations=%d(+%d reused) peak=%d tail=%d charged=%d copies=%d steals=%d parks=%d",
 		atomic.LoadInt64(&s.OpsExecuted), atomic.LoadInt64(&s.OperatorsRun),
 		atomic.LoadInt64(&s.ActivationsAllocated), atomic.LoadInt64(&s.ActivationsReused),
 		atomic.LoadInt64(&s.PeakLive), atomic.LoadInt64(&s.TailCalls),
-		atomic.LoadInt64(&s.ChargedUnits), atomic.LoadInt64(&s.Blocks.Copies))
+		atomic.LoadInt64(&s.ChargedUnits), atomic.LoadInt64(&s.Blocks.Copies),
+		atomic.LoadInt64(&s.Steals), atomic.LoadInt64(&s.Parks))
 }
 
 // TimingEntry records one node execution for the node timing tool (§5.2).

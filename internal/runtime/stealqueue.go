@@ -1,0 +1,410 @@
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// task is one runnable node of one activation.
+type task struct {
+	act  *activation
+	node *graph.Node
+}
+
+// This file implements the real executor's work-stealing ready queue — the
+// replacement for the original single-mutex three-level queue. The §7
+// priority semantics are preserved per worker and per steal attempt: each
+// worker owns one Chase-Lev deque per priority level and always drains
+// normal operators before non-recursive expansions before recursive
+// expansions, whether taking from its own deques, from the shared
+// injector, or from a victim.
+//
+// The structure follows the classic three tiers:
+//
+//   - local deques: the owning worker pushes and pops LIFO at the bottom
+//     (cache locality — a node's consumers run hot on the producer's
+//     worker); thieves steal FIFO from the top, taking the oldest work,
+//     which for this runtime tends to be the widest subtrees.
+//   - a shared lock-free injector (one Michael-Scott queue per priority)
+//     receives pushes from outside the worker pool — seeding from the
+//     caller's goroutine, and any future cross-worker source.
+//   - idle workers spin briefly, then register on an idle list and park on
+//     a private one-token parker. Pushes wake at most one parked worker
+//     (notifyOne), so a push never pays a condvar-herd broadcast.
+
+// wsArray is one growable ring of a Chase-Lev deque. Slots hold *task so
+// every slot access is a single atomic pointer operation.
+type wsArray struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newWSArray(size int64) *wsArray {
+	return &wsArray{mask: size - 1, slots: make([]atomic.Pointer[task], size)}
+}
+
+func (a *wsArray) get(i int64) *task    { return a.slots[i&a.mask].Load() }
+func (a *wsArray) put(i int64, t *task) { a.slots[i&a.mask].Store(t) }
+func (a *wsArray) size() int64          { return int64(len(a.slots)) }
+
+// wsDeque is a Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; the
+// sequentially-consistent formulation, which is what Go's sync/atomic
+// provides). The owner pushes and pops at bottom; thieves CAS top. Arrays
+// only grow and old arrays are never recycled, so a thief holding a stale
+// array still reads the correct element for any index it successfully
+// claims.
+type wsDeque struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	arr    atomic.Pointer[wsArray]
+}
+
+const wsInitialSize = 64
+
+func (d *wsDeque) init() {
+	d.arr.Store(newWSArray(wsInitialSize))
+}
+
+// push appends t at the bottom. Owner only.
+func (d *wsDeque) push(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	a := d.arr.Load()
+	if b-tp >= a.size() {
+		a = d.grow(a, tp, b)
+	}
+	a.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live window [top, bottom).
+func (d *wsDeque) grow(old *wsArray, top, bottom int64) *wsArray {
+	na := newWSArray(old.size() * 2)
+	for i := top; i < bottom; i++ {
+		na.put(i, old.get(i))
+	}
+	d.arr.Store(na)
+	return na
+}
+
+// pop removes the most recently pushed task (LIFO). Owner only. Returns
+// nil when the deque is empty or the last element was lost to a thief.
+func (d *wsDeque) pop() *task {
+	b := d.bottom.Load() - 1
+	a := d.arr.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	tk := a.get(b)
+	if t == b {
+		// Single element left: race thieves for it via top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			tk = nil
+		}
+		d.bottom.Store(b + 1)
+		return tk
+	}
+	return tk
+}
+
+// steal removes the oldest task (FIFO). Safe from any goroutine. The
+// second result distinguishes "lost the race, retry" (true) from "deque
+// observed empty" (false).
+func (d *wsDeque) steal() (*task, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.arr.Load()
+	tk := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return tk, true
+}
+
+// isEmpty is a racy size probe used only by the pre-park re-check; a
+// transient false negative is corrected by the notifyOne handshake.
+func (d *wsDeque) isEmpty() bool { return d.top.Load() >= d.bottom.Load() }
+
+// injNode is one link of the injector queue.
+type injNode struct {
+	t    *task
+	next atomic.Pointer[injNode]
+}
+
+// injQueue is a Michael-Scott lock-free MPMC FIFO — the shared injector
+// level. head points at a dummy node; the first real element is head.next.
+type injQueue struct {
+	head atomic.Pointer[injNode]
+	tail atomic.Pointer[injNode]
+}
+
+func (q *injQueue) init() {
+	d := &injNode{}
+	q.head.Store(d)
+	q.tail.Store(d)
+}
+
+// push enqueues t. Safe from any goroutine.
+func (q *injQueue) push(t *task) {
+	n := &injNode{t: t}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// Help a lagging producer swing the tail forward.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// pop dequeues the oldest task, or nil when empty. Safe from any
+// goroutine. Only the CAS winner dereferences a node's payload, so the
+// release store below cannot race a reader.
+func (q *injQueue) pop() *task {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if next == nil {
+			return nil
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			t := next.t
+			next.t = nil // next is the new dummy; release the payload
+			return t
+		}
+	}
+}
+
+// isEmpty is the racy probe used by the pre-park re-check.
+func (q *injQueue) isEmpty() bool { return q.head.Load().next.Load() == nil }
+
+// parker is a one-token binary semaphore: unpark is non-blocking and
+// idempotent while a token is pending, park consumes a token. A spurious
+// token only costs one extra scan of the queues.
+type parker struct {
+	ch chan struct{}
+}
+
+func (p *parker) park() { <-p.ch }
+func (p *parker) unpark() {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+// workerDeques is one worker's trio of priority deques.
+type workerDeques struct {
+	d [numPriorities]wsDeque
+}
+
+// stealScheduler coordinates the real executor's workers.
+type stealScheduler struct {
+	local   []workerDeques
+	inject  [numPriorities]injQueue
+	parkers []parker
+
+	// idle is a LIFO stack of parked worker ids, guarded by idleMu.
+	// nidle mirrors len(idle) so the push fast path can skip the lock.
+	idleMu sync.Mutex
+	idle   []int
+	nidle  atomic.Int64
+
+	closed atomic.Bool
+	stats  *Stats
+}
+
+func newStealScheduler(workers int, stats *Stats) *stealScheduler {
+	s := &stealScheduler{
+		local:   make([]workerDeques, workers),
+		parkers: make([]parker, workers),
+		stats:   stats,
+	}
+	for w := range s.local {
+		for pri := range s.local[w].d {
+			s.local[w].d[pri].init()
+		}
+		s.parkers[w].ch = make(chan struct{}, 1)
+	}
+	for pri := range s.inject {
+		s.inject[pri].init()
+	}
+	return s
+}
+
+// pushLocal enqueues t on worker wid's own deque and wakes one parked
+// worker if any is idle. Must be called from wid's goroutine.
+func (s *stealScheduler) pushLocal(wid int, t *task, pri Priority) {
+	s.local[wid].d[pri].push(t)
+	s.notifyOne()
+}
+
+// pushInject enqueues t on the shared injector — the path for pushes that
+// originate outside the worker pool (seeding).
+func (s *stealScheduler) pushInject(t *task, pri Priority) {
+	s.inject[pri].push(t)
+	atomic.AddInt64(&s.stats.InjectedTasks, 1)
+	s.notifyOne()
+}
+
+// notifyOne wakes at most one parked worker. The nidle fast path makes a
+// push by a busy pool a single atomic load.
+func (s *stealScheduler) notifyOne() {
+	if s.nidle.Load() == 0 {
+		return
+	}
+	s.idleMu.Lock()
+	if len(s.idle) == 0 {
+		s.idleMu.Unlock()
+		return
+	}
+	wid := s.idle[len(s.idle)-1]
+	s.idle = s.idle[:len(s.idle)-1]
+	s.nidle.Store(int64(len(s.idle)))
+	s.idleMu.Unlock()
+	s.parkers[wid].unpark()
+}
+
+// find returns the next task for worker wid, honoring the §7 priority
+// order at every tier: own deques, then the injector, then one steal
+// sweep over the other workers (victims scanned starting after wid so
+// thieves spread out). Returns nil when no work was found anywhere.
+func (s *stealScheduler) find(wid int) *task {
+	own := &s.local[wid]
+	for pri := range own.d {
+		if t := own.d[pri].pop(); t != nil {
+			return t
+		}
+	}
+	for pri := range s.inject {
+		if t := s.inject[pri].pop(); t != nil {
+			return t
+		}
+	}
+	n := len(s.local)
+	for off := 1; off < n; off++ {
+		victim := &s.local[(wid+off)%n]
+		for pri := range victim.d {
+			for {
+				t, retry := victim.d[pri].steal()
+				if t != nil {
+					atomic.AddInt64(&s.stats.Steals, 1)
+					return t
+				}
+				if !retry {
+					break
+				}
+				atomic.AddInt64(&s.stats.StealContention, 1)
+			}
+		}
+	}
+	return nil
+}
+
+// anyWork is the racy pre-park probe: it may report work that a racing
+// worker immediately claims (costing one extra scan) but, paired with the
+// register-then-recheck order in park and the push-then-notify order in
+// the producers, it can never let the last task strand while every worker
+// sleeps.
+func (s *stealScheduler) anyWork() bool {
+	for pri := range s.inject {
+		if !s.inject[pri].isEmpty() {
+			return true
+		}
+	}
+	for w := range s.local {
+		for pri := range s.local[w].d {
+			if !s.local[w].d[pri].isEmpty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spinFind retries find a few times around the Go scheduler before giving
+// up — the "spin" half of spin-then-park. Stealing is already a full
+// sweep, so a couple of rounds suffice to ride out a producer that is
+// between push and notify.
+func (s *stealScheduler) spinFind(wid int) *task {
+	const spins = 4
+	for i := 0; i < spins; i++ {
+		if t := s.find(wid); t != nil {
+			return t
+		}
+		if s.closed.Load() {
+			return nil
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// park blocks wid until a producer or close wakes it. The worker
+// registers first and re-checks afterwards: either the racing producer
+// sees the registration (and sends a token) or the re-check sees the
+// pushed task (and the worker withdraws).
+func (s *stealScheduler) park(wid int) {
+	s.idleMu.Lock()
+	s.idle = append(s.idle, wid)
+	s.nidle.Store(int64(len(s.idle)))
+	s.idleMu.Unlock()
+
+	if s.closed.Load() || s.anyWork() {
+		// Withdraw if still registered; if a notifier already claimed this
+		// worker a token is in flight, so fall through and consume it.
+		withdrawn := false
+		s.idleMu.Lock()
+		for i, id := range s.idle {
+			if id == wid {
+				s.idle = append(s.idle[:i], s.idle[i+1:]...)
+				withdrawn = true
+				break
+			}
+		}
+		s.nidle.Store(int64(len(s.idle)))
+		s.idleMu.Unlock()
+		if withdrawn {
+			return
+		}
+	}
+	atomic.AddInt64(&s.stats.Parks, 1)
+	s.parkers[wid].park()
+}
+
+// close marks the run over and wakes every parked worker. Called at
+// quiescence and on error abort; queued tasks are abandoned by design.
+func (s *stealScheduler) close() {
+	s.closed.Store(true)
+	s.idleMu.Lock()
+	idle := s.idle
+	s.idle = nil
+	s.nidle.Store(0)
+	s.idleMu.Unlock()
+	for _, wid := range idle {
+		s.parkers[wid].unpark()
+	}
+	// Workers that were registering concurrently with the close re-check
+	// closed after registering and withdraw; workers already running see
+	// closed at the top of their loop.
+}

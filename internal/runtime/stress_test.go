@@ -3,8 +3,11 @@ package runtime
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/operator"
 	"repro/internal/value"
 )
 
@@ -114,6 +117,105 @@ main(d) tree(d)
 		if v != value.Int(4096) { // 4^6
 			t.Errorf("%s: tree(6) = %v, want 4096", name, v)
 		}
+	}
+}
+
+// TestOperatorPanicManyWorkers aborts a wide 8-worker run by panicking in
+// an operator once enough parallel work is in flight. The engine must
+// convert the panic into an error, wake every parked worker, and return —
+// a hang here means the abort path lost a parker wakeup.
+func TestOperatorPanicManyWorkers(t *testing.T) {
+	reg := operator.NewRegistry(operator.Builtins())
+	var fired atomic.Int64
+	reg.MustRegister(&operator.Operator{
+		Name: "boom_after", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			if fired.Add(1) == 200 {
+				panic("kaboom")
+			}
+			return args[0], nil
+		},
+	})
+	src := `
+spin(n) if is_equal(n, 0) then 0 else add(boom_after(n), spin(sub(n, 1)))
+main(n)
+  let a = spin(n)
+      b = spin(n)
+      c = spin(n)
+      d = spin(n)
+  in add(add(a, b), add(c, d))
+`
+	g := compile(t, src, reg)
+	e := New(g, Config{Mode: Real, Workers: 8, MaxOps: 10_000_000})
+	_, err := e.Run(value.Int(200))
+	if err == nil || !strings.Contains(err.Error(), "operator panicked") {
+		t.Fatalf("err = %v, want operator panic diagnostic", err)
+	}
+}
+
+// TestMaxOpsExceededMidRun exhausts the operation budget in the middle of
+// an 8-worker run; every worker must observe the abort and exit.
+func TestMaxOpsExceededMidRun(t *testing.T) {
+	src := `
+main(n)
+  iterate { i = 0, incr(i) } while lt(i, n), result i
+`
+	g := compile(t, src, nil)
+	e := New(g, Config{Mode: Real, Workers: 8, MaxOps: 500})
+	_, err := e.Run(value.Int(1_000_000))
+	if err == nil || !strings.Contains(err.Error(), "operation budget") {
+		t.Fatalf("err = %v, want budget diagnostic", err)
+	}
+}
+
+// TestStealParkStress drives the stealing and parking paths hard under the
+// race detector: a bushy recursion floods the producing workers' deques
+// (forcing steals even on a single-CPU host, where thieves only run at
+// preemption points) and a sequential tail of blocking operators idles the
+// whole pool (forcing parks — while one worker sleeps inside nap, the
+// other seven find nothing and must go to sleep rather than burn CPU).
+// Retries tolerate a freakishly quiet schedule; across attempts the
+// counters must both fire.
+func TestStealParkStress(t *testing.T) {
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "nap", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			time.Sleep(3 * time.Millisecond)
+			return args[0], nil
+		},
+	})
+	src := `
+tree(d)
+  if is_equal(d, 0)
+    then 1
+    else add(add(tree(sub(d, 1)), tree(sub(d, 1))),
+             add(tree(sub(d, 1)), tree(sub(d, 1))))
+main(d) nap(nap(nap(tree(d))))
+`
+	g := compile(t, src, reg)
+	var sawSteal, sawPark bool
+	for attempt := 0; attempt < 5 && !(sawSteal && sawPark); attempt++ {
+		e := New(g, Config{Mode: Real, Workers: 8, MaxOps: 10_000_000})
+		v, err := e.Run(value.Int(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != value.Int(16384) { // 4^7
+			t.Fatalf("got %v, want 16384", v)
+		}
+		st := e.Stats()
+		sawSteal = sawSteal || st.Steals > 0
+		sawPark = sawPark || st.Parks > 0
+		if st.InjectedTasks == 0 {
+			t.Error("seeding bypassed the injector")
+		}
+	}
+	if !sawSteal {
+		t.Error("no steals recorded across 5 bushy 8-worker runs")
+	}
+	if !sawPark {
+		t.Error("no parks recorded across 5 runs with a blocking tail")
 	}
 }
 
