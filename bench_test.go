@@ -15,6 +15,7 @@
 //	BenchmarkRayTrace             application throughput (wall time)
 //	BenchmarkCircuitSim           application throughput (wall time)
 //	BenchmarkDispatch             real-executor scheduling cost per operator
+//	BenchmarkDispatchTraced       same loop with structured tracing enabled
 //
 // Custom metrics (speedup, overhead_pct, peak ratios) carry the shape
 // results; ns/op carries the host cost of regenerating them.
@@ -307,10 +308,11 @@ func BenchmarkCircuitSim(b *testing.B) {
 	}
 }
 
-// BenchmarkDispatch measures the real executor's per-operator scheduling
-// cost with a trivial-operator loop — the wall-clock analogue of the
-// simulated dispatch overhead.
-func BenchmarkDispatch(b *testing.B) {
+// benchDispatch measures the real executor's per-operator scheduling cost
+// with a trivial-operator loop — the wall-clock analogue of the simulated
+// dispatch overhead.
+func benchDispatch(b *testing.B, cfg rt.Config) {
+	b.Helper()
 	src := `
 main(n)
   iterate { i = 0, incr(i) } while lt(i, n), result i
@@ -322,12 +324,27 @@ main(n)
 	const iters = 10000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := rt.New(res.Program, rt.Config{Mode: rt.Real, Workers: 1})
+		eng := rt.New(res.Program, cfg)
 		if _, err := eng.Run(value.Int(iters)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/iters, "ns/operator")
+}
+
+// BenchmarkDispatch is the trace-disabled baseline. The tracer must cost
+// exactly one nil pointer check per recording site here; compare against
+// BenchmarkDispatchTraced to see the price of turning tracing on.
+func BenchmarkDispatch(b *testing.B) {
+	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1})
+}
+
+// BenchmarkDispatchTraced is the same loop with structured tracing enabled —
+// the guard pair for the observability tax. A regression in the *untraced*
+// number above is the one that matters; this one bounds what -trace costs a
+// profiling run.
+func BenchmarkDispatchTraced(b *testing.B) {
+	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1, Trace: true})
 }
 
 func BenchmarkCompileWorkload(b *testing.B) {

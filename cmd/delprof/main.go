@@ -7,6 +7,16 @@
 //	delprof -app queens queens.dlr
 //	delprof -sim -machine cray program.dlr     deterministic virtual ticks
 //	delprof -top 5 program.dlr                 summary only, five rows
+//	delprof -trace out.json program.dlr        Chrome/Perfetto trace export
+//	delprof -critpath program.dlr              critical-path analysis
+//
+// -trace writes the structured execution trace in Chrome trace-event JSON
+// (load it at ui.perfetto.dev): one track per worker, a slice per node
+// execution, flow arrows along data dependencies, and instants for steals,
+// parks, and activation traffic. -critpath replays the recorded node times
+// over the dependency edges and reports the longest weighted chain,
+// per-operator slack, and an imbalance verdict — the §5.2 workflow made
+// mechanical.
 package main
 
 import (
@@ -29,6 +39,8 @@ func main() {
 		top      = flag.Int("top", 0, "print only the top-N summary rows (0 = listing + full summary)")
 		filter   = flag.String("ops", "", "comma-separated operator names to list (empty = all)")
 		gantt    = flag.Int("gantt", 0, "render a per-processor timeline this many cells wide")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file here")
+		critpath = flag.Bool("critpath", false, "print critical-path analysis and imbalance verdict")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -54,7 +66,8 @@ func main() {
 		unit = "ticks"
 	}
 	eng := runtime.New(res.Program, runtime.Config{
-		Mode: mode, Workers: *workers, Machine: mach, Timing: true})
+		Mode: mode, Workers: *workers, Machine: mach, Timing: true,
+		Trace: *traceOut != "" || *critpath})
 	out, err := eng.Run(cli.ParseArgs(flag.Args()[1:])...)
 	fail(err)
 	fmt.Fprintf(os.Stderr, "result: %v\n\n", out)
@@ -95,6 +108,25 @@ func main() {
 	for _, s := range rows {
 		fmt.Printf("%-20s %8d %14d %14d %14d\n",
 			s.Name, s.Calls, s.Total, s.Total/int64(s.Calls), s.Max)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		err = eng.Trace().WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (load at ui.perfetto.dev)\n", *traceOut)
+	}
+	if *critpath {
+		fmt.Println()
+		if cp := eng.Trace().CriticalPath(); cp != nil {
+			fmt.Print(cp.Report())
+		} else {
+			fmt.Println("critical path: no completed node executions recorded")
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDelx compiles the command into dir and returns the binary path.
+func buildDelx(t *testing.T, dir string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(dir, "delx")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/delx")
+	cmd.Dir = delxRepoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func delxRepoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestDelxSmoke builds the experiment driver and runs the cheap experiments
+// end to end: the queens determinism check and the two §5.2 listings with
+// their new critical-path footers.
+func TestDelxSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildDelx(t, t.TempDir())
+
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("delx -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"fig1", "lst1", "lst2", "queens"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %q:\n%s", id, out)
+		}
+	}
+
+	out, err = exec.Command(bin, "queens", "lst1", "lst2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("delx queens lst1 lst2: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"92 solutions",
+		"call of post_up took",
+		"verdict: imbalanced — post_up",
+		"verdict: balanced",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDelxUnknownExperiment checks the error path exits nonzero.
+func TestDelxUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildDelx(t, t.TempDir())
+	out, err := exec.Command(bin, "no-such-experiment").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown experiment exited 0:\n%s", out)
+	}
+}

@@ -104,6 +104,20 @@ type (
 	Stats = runtime.Stats
 	// TimingLog is the node timing tool's output.
 	TimingLog = runtime.TimingLog
+	// Trace is the structured execution trace recorded when
+	// RunConfig.Trace is set; export it with WriteChrome or analyze it
+	// with CriticalPath.
+	Trace = runtime.Trace
+	// TraceEvent is one recorded trace event.
+	TraceEvent = runtime.TraceEvent
+	// CritPath is the critical-path analysis of a Trace: the longest
+	// weighted dependency chain, per-operator slack, and the imbalance
+	// verdict.
+	CritPath = runtime.CritPath
+	// CritOp aggregates one operator's relation to the critical path.
+	CritOp = runtime.CritOp
+	// CritStep is one node execution on the critical path.
+	CritStep = runtime.CritStep
 	// MachineProfile describes a simulated machine.
 	MachineProfile = machine.Profile
 	// AffinityPolicy selects the simulated scheduler's §9.3 policy.
@@ -201,6 +215,20 @@ func (p *Program) RunStats(cfg RunConfig, args ...Value) (Value, *Stats, *Timing
 		return nil, nil, nil, err
 	}
 	return v, e.Stats(), e.Timing(), nil
+}
+
+// RunTraced executes like Run with structured tracing forced on and returns
+// the recorded trace alongside the result. Export the trace with
+// Trace.WriteChrome (view at ui.perfetto.dev) or analyze it with
+// Trace.CriticalPath.
+func (p *Program) RunTraced(cfg RunConfig, args ...Value) (Value, *Trace, error) {
+	cfg.Trace = true
+	e := p.NewEngine(cfg)
+	v, err := e.Run(args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, e.Trace(), nil
 }
 
 // Eval compiles and runs a single Delirium expression against the builtin

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/retina"
+)
+
+// TestCritPathFindsPostUp is the mechanical form of the paper's §5.2
+// diagnosis: on the unbalanced retina the critical-path analyzer must name
+// post_up as the serialized bottleneck, and on the balanced version it must
+// report no dominating operator.
+func TestCritPathFindsPostUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cp1, err := ListingCritPath(retina.V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp1 == nil {
+		t.Fatal("v1: nil critical path")
+	}
+	if cp1.Balanced {
+		t.Error("v1: unbalanced retina reported as balanced")
+	}
+	if cp1.Dominant != "post_up" {
+		t.Errorf("v1: bottleneck = %q, want post_up", cp1.Dominant)
+	}
+	if cp1.DominantShare < 0.40 {
+		t.Errorf("v1: post_up share = %.2f, want >= 0.40", cp1.DominantShare)
+	}
+	if !strings.Contains(cp1.Verdict(), "post_up") {
+		t.Errorf("v1 verdict does not name post_up: %s", cp1.Verdict())
+	}
+
+	cp2, err := ListingCritPath(retina.V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2 == nil {
+		t.Fatal("v2: nil critical path")
+	}
+	if !cp2.Balanced {
+		t.Errorf("v2: balanced retina reported imbalanced (verdict: %s)", cp2.Verdict())
+	}
+	// The §5.2 fix buys parallelism: the balanced version's path must be
+	// meaningfully shorter than the unbalanced one on the same workload.
+	if cp2.PathTicks >= cp1.PathTicks {
+		t.Errorf("v2 path %d not shorter than v1 path %d", cp2.PathTicks, cp1.PathTicks)
+	}
+	if cp2.Parallelism() <= cp1.Parallelism() {
+		t.Errorf("v2 parallelism %.2f not above v1 %.2f", cp2.Parallelism(), cp1.Parallelism())
+	}
+}
+
+// TestListingHasCritPathFooter checks the lst1/lst2 CLI surface carries the
+// analysis.
+func TestListingHasCritPathFooter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	l1, err := Listing(retina.V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(l1, "critical path:") || !strings.Contains(l1, "verdict: imbalanced") {
+		t.Errorf("v1 listing missing critical-path footer:\n%s", l1)
+	}
+	l2, err := Listing(retina.V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(l2, "verdict: balanced") {
+		t.Errorf("v2 listing missing balanced verdict:\n%s", l2)
+	}
+}

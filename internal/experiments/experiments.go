@@ -196,11 +196,11 @@ func listingConfig() retina.Config {
 // Listing reproduces the §5.2 node-timing listings: the unbalanced version
 // shows post_up taking as long as all four convol_bites combined; the
 // balanced version shows update_split/update_bite/done_up in near-perfect
-// balance. Times are virtual ticks of the simulated Cray.
+// balance. Times are virtual ticks of the simulated Cray. A critical-path
+// footer makes the diagnosis mechanical: the unbalanced run reports post_up
+// serialized on the path, the balanced run reports no dominating operator.
 func Listing(v retina.Version) (string, error) {
-	_, eng, err := retina.Run(listingConfig(), v, runtime.Config{
-		Mode: runtime.Simulated, Workers: 1, Timing: true,
-		Machine: machine.CrayYMP(), MaxOps: 50_000_000})
+	eng, err := runListing(v)
 	if err != nil {
 		return "", err
 	}
@@ -212,7 +212,29 @@ func Listing(v retina.Version) (string, error) {
 			"update_split": true, "update_bite": true, "done_up": true}
 	}
 	head := fmt.Sprintf("Node timings, %s version (ticks of the simulated Cray clock):\n", v)
-	return head + eng.Timing().Listing(filter), nil
+	out := head + eng.Timing().Listing(filter)
+	if cp := eng.Trace().CriticalPath(); cp != nil {
+		out += "\n" + cp.Report()
+	}
+	return out, nil
+}
+
+// runListing performs the §5.2 measurement run with timing and tracing on.
+func runListing(v retina.Version) (*runtime.Engine, error) {
+	_, eng, err := retina.Run(listingConfig(), v, runtime.Config{
+		Mode: runtime.Simulated, Workers: 1, Timing: true, Trace: true,
+		Machine: machine.CrayYMP(), MaxOps: 50_000_000})
+	return eng, err
+}
+
+// ListingCritPath runs the §5.2 measurement and returns just the
+// critical-path analysis — the mechanical form of the paper's diagnosis.
+func ListingCritPath(v retina.Version) (*runtime.CritPath, error) {
+	eng, err := runListing(v)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Trace().CriticalPath(), nil
 }
 
 // Overhead reproduces the §7 claim: runtime system overhead under three

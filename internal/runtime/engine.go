@@ -100,6 +100,12 @@ type Config struct {
 	// Timing enables per-node timing collection (the environment's node
 	// timing tool, §5.2).
 	Timing bool
+	// Trace enables structured execution tracing: typed events (node
+	// start/end, steal, park, activation reuse, …) recorded into per-worker
+	// buffers, exportable as Chrome trace-event JSON and analyzable for the
+	// critical path (Engine.Trace). Disabled, it costs one nil check per
+	// recording site.
+	Trace bool
 	// Affinity selects the simulated scheduler's placement policy.
 	Affinity AffinityPolicy
 	// DisablePriorities collapses the three-level ready queue into a single
@@ -148,9 +154,16 @@ type Engine struct {
 	prog *graph.Program
 	cfg  Config
 
-	stats   Stats
-	timing  *TimingLog
-	pools   sync.Map // *graph.Template -> *sync.Pool
+	stats  Stats
+	timing *TimingLog
+	tracer *tracer
+	pools  sync.Map // *graph.Template -> *sync.Pool
+	// simPools replaces the sync.Pools in Simulated mode. The simulated
+	// executor is single-threaded, and sync.Pool may drop items under GC
+	// pressure (and deliberately under the race detector), which would make
+	// activation reuse — and with it the recorded trace — nondeterministic.
+	// A plain per-template free list keeps the determinism contract exact.
+	simPools map[*graph.Template][]*activation
 	started atomic.Bool
 	stopped atomic.Bool
 	errOnce sync.Once
@@ -165,8 +178,15 @@ type Engine struct {
 // many engines; templates are immutable.
 func New(prog *graph.Program, cfg Config) *Engine {
 	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps}
+	if cfg.Mode == Simulated {
+		e.simPools = make(map[*graph.Template][]*activation)
+	}
 	if cfg.Timing {
 		e.timing = NewTimingLog()
+		e.timing.initShards(cfg.workers())
+	}
+	if cfg.Trace {
+		e.tracer = newTracer(cfg.Mode, cfg.workers())
 	}
 	return e
 }
@@ -206,6 +226,15 @@ func (e *Engine) Stats() *Stats { return &e.stats }
 // Timing returns the node timing log, or nil when timing was disabled.
 func (e *Engine) Timing() *TimingLog { return e.timing }
 
+// Trace returns the recorded execution trace, or nil when tracing was
+// disabled. Call after Run returns.
+func (e *Engine) Trace() *Trace {
+	if e.tracer == nil {
+		return nil
+	}
+	return e.tracer.snapshot()
+}
+
 // fail records the first error and stops the run.
 func (e *Engine) fail(err error) {
 	e.errOnce.Do(func() {
@@ -223,24 +252,48 @@ func (e *Engine) finish(v value.Value) {
 	e.stopped.Store(true)
 }
 
-// acquire gets a recycled or fresh activation for t.
-func (e *Engine) acquire(t *graph.Template) *activation {
-	pi, ok := e.pools.Load(t)
-	if !ok {
-		pi, _ = e.pools.LoadOrStore(t, &sync.Pool{})
+// acquire gets a recycled or fresh activation for t. wid is the acquiring
+// worker for trace attribution (-1 outside the pool); when tracing is on the
+// activation is stamped with a fresh instance id so every node execution has
+// a unique (activation, node) identity in the trace.
+func (e *Engine) acquire(wid int, t *graph.Template) *activation {
+	var a *activation
+	if e.simPools != nil {
+		if list := e.simPools[t]; len(list) > 0 {
+			a = list[len(list)-1]
+			e.simPools[t] = list[:len(list)-1]
+		}
+	} else {
+		pi, ok := e.pools.Load(t)
+		if !ok {
+			pi, _ = e.pools.LoadOrStore(t, &sync.Pool{})
+		}
+		a, _ = pi.(*sync.Pool).Get().(*activation)
 	}
-	pool := pi.(*sync.Pool)
-	if a, _ := pool.Get().(*activation); a != nil {
+	if a != nil {
 		atomic.AddInt64(&e.stats.ActivationsReused, 1)
 		a.reset()
+		if e.tracer != nil {
+			a.seq = e.tracer.nextAct()
+			e.tracer.record(wid, TraceEvent{Type: TraceActReuse, Ts: e.tracer.now(), Act: a.seq, Tmpl: t.Name})
+		}
 		return a
 	}
 	atomic.AddInt64(&e.stats.ActivationsAllocated, 1)
-	return newActivation(t)
+	a = newActivation(t)
+	if e.tracer != nil {
+		a.seq = e.tracer.nextAct()
+		e.tracer.record(wid, TraceEvent{Type: TraceActAlloc, Ts: e.tracer.now(), Act: a.seq, Tmpl: t.Name})
+	}
+	return a
 }
 
 // release returns a finished activation to its template's pool.
 func (e *Engine) release(a *activation) {
+	if e.simPools != nil {
+		e.simPools[a.tmpl] = append(e.simPools[a.tmpl], a)
+		return
+	}
 	if pi, ok := e.pools.Load(a.tmpl); ok {
 		pi.(*sync.Pool).Put(a)
 	}

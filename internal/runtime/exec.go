@@ -22,6 +22,10 @@ type worker struct {
 	// delivery so the scheduler can stamp each consumer's earliest start
 	// with the producer's completion time.
 	delivered func(a *activation, nodeID int)
+	// tr, when non-nil, receives trace events from this worker's hot path
+	// (deliveries, tail calls, block copies). A copy of e.tracer so the
+	// disabled case is a single nil check.
+	tr *tracer
 
 	// charge accumulates Context.Charge units of the node being executed.
 	charge int64
@@ -42,6 +46,15 @@ func (w *worker) BlockStats() *value.BlockStats { return &w.e.stats.Blocks }
 
 // Processor implements operator.Context.
 func (w *worker) Processor() int { return w.proc }
+
+// traceLabel names a node for trace output: the operator or callee name, or
+// the node kind for unnamed plumbing nodes.
+func traceLabel(n *graph.Node) string {
+	if n.Name != "" {
+		return n.Name
+	}
+	return n.Kind.String()
+}
 
 // runtimeError decorates an error with the failing node's source position.
 func runtimeError(n *graph.Node, err error) error {
@@ -86,6 +99,10 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 				nv, copied := makeWritable(ins[i], &e.stats.Blocks)
 				ins[i] = nv
 				w.localWords += int64(copied)
+				if w.tr != nil && copied > 0 {
+					w.tr.record(w.proc, TraceEvent{Type: TraceBlockCopy, Ts: w.tr.now(),
+						Act: a.seq, Node: int32(n.ID), Arg: int64(copied), Name: n.Name})
+				}
 			}
 		}
 		result, err := callOperator(w, n, ins)
@@ -203,12 +220,16 @@ func (e *Engine) expand(w *worker, a *activation, n *graph.Node, callee *graph.T
 		return runtimeError(n, fmt.Errorf("internal: %s expects %d activation arguments, got %d",
 			callee.Name, callee.NumArgs(), len(args)))
 	}
-	child := e.acquire(callee)
+	child := e.acquire(w.proc, callee)
 	e.stats.noteLive(1, int64(callee.ActivationWords()))
 	if len(n.Out) == 0 && n.ID == a.tmpl.Result && !a.delegated.Load() {
 		child.cont = a.cont
 		a.delegated.Store(true)
 		atomic.AddInt64(&e.stats.TailCalls, 1)
+		if w.tr != nil {
+			w.tr.record(w.proc, TraceEvent{Type: TraceTailCall, Ts: w.tr.now(),
+				Act: child.seq, Tmpl: callee.Name, Name: n.Name})
+		}
 		e.initActivation(w, child, args)
 		e.finishNode(a)
 		return nil
@@ -248,6 +269,10 @@ func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value
 				if w.delivered != nil {
 					w.delivered(a, edge.To)
 				}
+				if w.tr != nil {
+					w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
+						Act: a.seq, Node: int32(edge.To)})
+				}
 				if a.deliver(edge.To, edge.Port, v) {
 					w.sched(a, a.tmpl.Nodes[edge.To])
 				}
@@ -271,6 +296,10 @@ func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value
 		for _, edge := range n.Out {
 			if w.delivered != nil {
 				w.delivered(a, edge.To)
+			}
+			if w.tr != nil {
+				w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
+					Act: a.seq, Node: int32(edge.To)})
 			}
 			if a.deliver(edge.To, edge.Port, v) {
 				w.sched(a, a.tmpl.Nodes[edge.To])

@@ -28,18 +28,27 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	if nw == 1 {
 		return e.runRealSerial(args)
 	}
-	s := newStealScheduler(nw, &e.stats)
+	start := time.Now()
+	if e.tracer != nil {
+		e.tracer.now = func() int64 { return int64(time.Since(start)) }
+	}
+	s := newStealScheduler(nw, &e.stats, e.tracer)
 	var outstanding int64
 
 	bootSched := func(a *activation, n *graph.Node) {
 		atomic.AddInt64(&outstanding, 1)
+		if e.tracer != nil {
+			e.tracer.record(-1, TraceEvent{Type: TraceInject, Ts: e.tracer.now(),
+				Act: a.seq, Node: int32(n.ID), Name: traceLabel(n), Tmpl: a.tmpl.Name})
+		}
 		s.pushInject(&task{act: a, node: n}, e.classify(a, n))
 	}
 
-	start := time.Now()
-	root := e.acquire(e.prog.Main)
+	root := e.acquire(-1, e.prog.Main)
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
-	boot := &worker{e: e, proc: 0, sched: bootSched}
+	// The boot worker runs on the caller's goroutine before the pool exists;
+	// proc -1 routes its trace events to the external (seed) track.
+	boot := &worker{e: e, proc: -1, sched: bootSched, tr: e.tracer}
 	e.initActivation(boot, root, args)
 
 	if atomic.LoadInt64(&outstanding) == 0 {
@@ -58,7 +67,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		wg.Add(1)
 		go func(proc int) {
 			defer wg.Done()
-			w := &worker{e: e, proc: proc}
+			w := &worker{e: e, proc: proc, tr: e.tracer}
 			w.sched = func(a *activation, n *graph.Node) {
 				atomic.AddInt64(&outstanding, 1)
 				s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
@@ -76,16 +85,30 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 					continue
 				}
 				var t0 time.Time
-				if e.timing != nil {
+				if e.timing != nil || e.tracer != nil {
 					t0 = time.Now()
 				}
-				if err := e.execNode(w, t.act, t.node); err != nil {
+				// Capture the activation identity before execNode: the last
+				// node of an activation recycles it, and a pool reuse (even
+				// inside this very execNode, via a recursive expansion)
+				// restamps seq.
+				actSeq, nodeID := t.act.seq, int32(t.node.ID)
+				if e.tracer != nil {
+					e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
+						Act: actSeq, Node: nodeID, Name: traceLabel(t.node), Tmpl: t.act.tmpl.Name})
+				}
+				err := e.execNode(w, t.act, t.node)
+				if e.tracer != nil {
+					e.tracer.record(proc, TraceEvent{Type: TraceNodeEnd, Ts: int64(time.Since(start)),
+						Act: actSeq, Node: nodeID})
+				}
+				if err != nil {
 					e.fail(err)
 					s.close()
 					return
 				}
 				if e.timing != nil && t.node.Kind == graph.OpNode {
-					e.timing.Add(TimingEntry{
+					e.timing.addShard(proc, TimingEntry{
 						Name:     t.node.Name,
 						Template: t.act.tmpl.Name,
 						Proc:     proc,
@@ -115,13 +138,16 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 // simply the queue running dry.
 func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 	var q serialQueue
-	w := &worker{e: e, proc: 0}
+	w := &worker{e: e, proc: 0, tr: e.tracer}
 	w.sched = func(a *activation, n *graph.Node) {
 		q.push(task{act: a, node: n}, e.classify(a, n))
 	}
 
 	start := time.Now()
-	root := e.acquire(e.prog.Main)
+	if e.tracer != nil {
+		e.tracer.now = func() int64 { return int64(time.Since(start)) }
+	}
+	root := e.acquire(0, e.prog.Main)
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	e.initActivation(w, root, args)
 
@@ -131,15 +157,25 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 			break
 		}
 		var t0 time.Time
-		if e.timing != nil {
+		if e.timing != nil || e.tracer != nil {
 			t0 = time.Now()
 		}
-		if err := e.execNode(w, t.act, t.node); err != nil {
+		actSeq, nodeID := t.act.seq, int32(t.node.ID)
+		if e.tracer != nil {
+			e.tracer.record(0, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
+				Act: actSeq, Node: nodeID, Name: traceLabel(t.node), Tmpl: t.act.tmpl.Name})
+		}
+		err := e.execNode(w, t.act, t.node)
+		if e.tracer != nil {
+			e.tracer.record(0, TraceEvent{Type: TraceNodeEnd, Ts: int64(time.Since(start)),
+				Act: actSeq, Node: nodeID})
+		}
+		if err != nil {
 			e.fail(err)
 			break
 		}
 		if e.timing != nil && t.node.Kind == graph.OpNode {
-			e.timing.Add(TimingEntry{
+			e.timing.addShard(0, TimingEntry{
 				Name:     t.node.Name,
 				Template: t.act.tmpl.Name,
 				Proc:     0,

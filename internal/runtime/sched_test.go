@@ -21,7 +21,7 @@ func TestStealSchedulerPriorityOrder(t *testing.T) {
 		PriRecursive: {Name: "recursive"},
 	}
 	var stats Stats
-	s := newStealScheduler(2, &stats)
+	s := newStealScheduler(2, &stats, nil)
 	for _, tier := range []struct {
 		name string
 		push func(*task, Priority)
@@ -215,7 +215,7 @@ func TestInjectorFIFOAndConcurrency(t *testing.T) {
 
 func TestStealSchedulerCloseWakesParked(t *testing.T) {
 	var stats Stats
-	s := newStealScheduler(4, &stats)
+	s := newStealScheduler(4, &stats, nil)
 	var wg sync.WaitGroup
 	for w := 1; w < 4; w++ {
 		wg.Add(1)
@@ -241,7 +241,7 @@ func TestStealSchedulerCloseWakesParked(t *testing.T) {
 func TestStealSchedulerNotifyReachesParked(t *testing.T) {
 	// A worker parks; a push from another worker must wake it.
 	var stats Stats
-	s := newStealScheduler(2, &stats)
+	s := newStealScheduler(2, &stats, nil)
 	got := make(chan *task, 1)
 	var wg sync.WaitGroup
 	wg.Add(1)

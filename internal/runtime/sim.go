@@ -60,8 +60,14 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 	var heaps [numPriorities]simHeap
 	var seq int64
 	var clock int64 // start time of the item being executed
+	if e.tracer != nil {
+		// Events recorded mid-execution (deliveries, copies) stamp the
+		// executing node's virtual start time; everything is one goroutine,
+		// so the trace is deterministic.
+		e.tracer.now = func() int64 { return clock }
+	}
 
-	w := &worker{e: e, proc: 0}
+	w := &worker{e: e, proc: 0, tr: e.tracer}
 	var buffered []simItem
 	type delivery struct {
 		act    *activation
@@ -102,7 +108,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		buffered = buffered[:0]
 	}
 
-	root := e.acquire(e.prog.Main)
+	root := e.acquire(0, e.prog.Main)
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	e.initActivation(w, root, args)
 	flush(0)
@@ -159,6 +165,13 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		clock = start
 		w.proc = proc
 
+		// Capture the activation identity before execNode: recycling (even a
+		// same-template reuse inside this execNode) restamps seq.
+		actSeq, nodeID := item.act.seq, int32(item.node.ID)
+		if e.tracer != nil {
+			e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: start,
+				Act: actSeq, Node: nodeID, Name: traceLabel(item.node), Tmpl: item.act.tmpl.Name})
+		}
 		if err := e.execNode(w, item.act, item.node); err != nil {
 			return nil, err
 		}
@@ -178,10 +191,14 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		if end > makespan {
 			makespan = end
 		}
+		if e.tracer != nil {
+			e.tracer.record(proc, TraceEvent{Type: TraceNodeEnd, Ts: end,
+				Act: actSeq, Node: nodeID})
+		}
 		if item.node.Kind == graph.OpNode {
 			lastProc[item.node.Name] = proc
 			if e.timing != nil {
-				e.timing.Add(TimingEntry{Name: item.node.Name, Template: item.act.tmpl.Name,
+				e.timing.addShard(proc, TimingEntry{Name: item.node.Name, Template: item.act.tmpl.Name,
 					Proc: proc, Start: start, Ticks: dur})
 			}
 		}

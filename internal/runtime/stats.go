@@ -124,14 +124,35 @@ type TimingEntry struct {
 	Ticks    int64 // virtual ticks (Simulated) or nanoseconds (Real)
 }
 
-// TimingLog collects node timings from all workers.
+// TimingLog collects node timings from all workers. The engine's executors
+// write through per-worker shards (no lock on the execution hot path); the
+// public Add path keeps a mutex for external producers. Entries merges both
+// and sorts, so rendering is deterministic regardless of which worker
+// recorded what first.
 type TimingLog struct {
 	mu      sync.Mutex
 	entries []TimingEntry
+	// shards[w] is worker w's private buffer; only worker w appends to it,
+	// and readers merge after the run is quiescent.
+	shards [][]TimingEntry
 }
 
 // NewTimingLog returns an empty log.
 func NewTimingLog() *TimingLog { return &TimingLog{} }
+
+// initShards sizes the per-worker buffers; called by the engine before the
+// workers start.
+func (l *TimingLog) initShards(workers int) {
+	if len(l.shards) < workers {
+		l.shards = make([][]TimingEntry, workers)
+	}
+}
+
+// addShard appends to worker wid's private buffer without locking. Engine
+// internal: only worker wid may call it, and only while the run is live.
+func (l *TimingLog) addShard(wid int, e TimingEntry) {
+	l.shards[wid] = append(l.shards[wid], e)
+}
 
 // Add appends one entry; safe for concurrent use.
 func (l *TimingLog) Add(e TimingEntry) {
@@ -140,11 +161,27 @@ func (l *TimingLog) Add(e TimingEntry) {
 	l.mu.Unlock()
 }
 
-// Entries returns a copy of the recorded entries.
+// Entries returns the recorded entries merged across all workers and sorted
+// by (Start, Proc, Name). Under Real-mode concurrency the raw arrival order
+// is scheduling-dependent; the sort makes Listing and Gantt output
+// deterministic for a given set of measurements. Call after Run returns.
 func (l *TimingLog) Entries() []TimingEntry {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]TimingEntry(nil), l.entries...)
+	out := append([]TimingEntry(nil), l.entries...)
+	l.mu.Unlock()
+	for _, shard := range l.shards {
+		out = append(out, shard...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // Listing renders entries for the named operators in the paper's format:

@@ -232,13 +232,17 @@ type stealScheduler struct {
 
 	closed atomic.Bool
 	stats  *Stats
+	// tr, when non-nil, records steal and park/unpark events. Each worker
+	// records only under its own id, so no lock is needed.
+	tr *tracer
 }
 
-func newStealScheduler(workers int, stats *Stats) *stealScheduler {
+func newStealScheduler(workers int, stats *Stats, tr *tracer) *stealScheduler {
 	s := &stealScheduler{
 		local:   make([]workerDeques, workers),
 		parkers: make([]parker, workers),
 		stats:   stats,
+		tr:      tr,
 	}
 	for w := range s.local {
 		for pri := range s.local[w].d {
@@ -303,12 +307,16 @@ func (s *stealScheduler) find(wid int) *task {
 	}
 	n := len(s.local)
 	for off := 1; off < n; off++ {
-		victim := &s.local[(wid+off)%n]
+		vid := (wid + off) % n
+		victim := &s.local[vid]
 		for pri := range victim.d {
 			for {
 				t, retry := victim.d[pri].steal()
 				if t != nil {
 					atomic.AddInt64(&s.stats.Steals, 1)
+					if s.tr != nil {
+						s.tr.record(wid, TraceEvent{Type: TraceSteal, Ts: s.tr.now(), Arg: int64(vid)})
+					}
 					return t
 				}
 				if !retry {
@@ -389,7 +397,13 @@ func (s *stealScheduler) park(wid int) {
 		}
 	}
 	atomic.AddInt64(&s.stats.Parks, 1)
+	if s.tr != nil {
+		s.tr.record(wid, TraceEvent{Type: TracePark, Ts: s.tr.now()})
+	}
 	s.parkers[wid].park()
+	if s.tr != nil {
+		s.tr.record(wid, TraceEvent{Type: TraceUnpark, Ts: s.tr.now()})
+	}
 }
 
 // close marks the run over and wakes every parked worker. Called at
