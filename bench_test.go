@@ -347,6 +347,15 @@ func BenchmarkDispatchTraced(b *testing.B) {
 	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1, Trace: true})
 }
 
+// BenchmarkDispatchRetry is the same loop with deterministic retry armed —
+// the guard pair for the fault-tolerance tax. incr is pure and takes no
+// destructive arguments, so this prices the retry bookkeeping alone (loop
+// setup, pristine tracking), not snapshot copies.
+func BenchmarkDispatchRetry(b *testing.B) {
+	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1,
+		Retry: rt.RetryPolicy{MaxAttempts: 3}})
+}
+
 func BenchmarkCompileWorkload(b *testing.B) {
 	src := compile.Generate(200, 7)
 	b.SetBytes(int64(len(src)))

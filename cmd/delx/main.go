@@ -7,7 +7,10 @@
 //	delx -list            list experiment ids
 //
 // Experiments: fig1, tab1, tab1wall, tab2, lst1, lst2, ovh, prio, aff,
-// mem, opt, walks, queens.
+// mem, opt, walks, queens, faults.
+//
+// The faults experiment takes -retries (retry attempts per operator) and
+// -timeout (per-operator execution bound; 0 for none).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/retina"
@@ -26,7 +30,7 @@ type experiment struct {
 	run  func() (string, error)
 }
 
-func all() []experiment {
+func all(opTimeout time.Duration, retries int) []experiment {
 	return []experiment{
 		{"fig1", "Figure 1: retina speedup, simulated Cray Y-MP, 1-4 procs",
 			experiments.Fig1Text},
@@ -62,14 +66,18 @@ func all() []experiment {
 			}},
 		{"queens", "§3 eight queens: 92 solutions, deterministic order",
 			experiments.QueensText},
+		{"faults", "fault tolerance: every retina operator killed once, output identical",
+			func() (string, error) { return experiments.FaultsText(opTimeout, retries) }},
 	}
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	opTimeout := flag.Duration("timeout", 0, "per-operator execution bound for the faults experiment (0 = none)")
+	retries := flag.Int("retries", 3, "retry attempts per operator for the faults experiment")
 	flag.Parse()
 
-	exps := all()
+	exps := all(*opTimeout, *retries)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-9s %s\n", e.id, e.desc)

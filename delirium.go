@@ -30,6 +30,8 @@
 package delirium
 
 import (
+	"context"
+
 	"repro/internal/compile"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -122,7 +124,52 @@ type (
 	MachineProfile = machine.Profile
 	// AffinityPolicy selects the simulated scheduler's §9.3 policy.
 	AffinityPolicy = runtime.AffinityPolicy
+	// RunError is the structured error a failed run returns: failure kind,
+	// failed operator, activation path, attempt count, and captured panic
+	// stack. Unwrap with errors.As, or errors.Is against context.Canceled.
+	RunError = runtime.RunError
+	// FailKind classifies a RunError.
+	FailKind = runtime.FailKind
+	// RetryPolicy configures deterministic operator retry
+	// (RunConfig.Retry).
+	RetryPolicy = runtime.RetryPolicy
+	// Fault arms one injected failure; FaultPlan is a deterministic
+	// schedule of them (RunConfig.Faults); FaultKind selects panic, error,
+	// or delay.
+	Fault     = runtime.Fault
+	FaultPlan = runtime.FaultPlan
+	FaultKind = runtime.FaultKind
 )
+
+// Failure kinds reported by RunError.
+const (
+	FailError    = runtime.FailError
+	FailPanic    = runtime.FailPanic
+	FailTimeout  = runtime.FailTimeout
+	FailCanceled = runtime.FailCanceled
+	FailDeadlock = runtime.FailDeadlock
+	FailBudget   = runtime.FailBudget
+)
+
+// Fault kinds for injection plans.
+const (
+	FaultError = runtime.FaultError
+	FaultPanic = runtime.FaultPanic
+	FaultDelay = runtime.FaultDelay
+)
+
+// NewFaultPlan builds a deterministic fault-injection plan.
+func NewFaultPlan(faults ...Fault) *FaultPlan { return runtime.NewFaultPlan(faults...) }
+
+// KillOnce returns a plan failing the first execution of each named
+// operator.
+func KillOnce(kind FaultKind, ops ...string) *FaultPlan { return runtime.KillOnce(kind, ops...) }
+
+// SeededFaultPlan derives a deterministic plan from a seed: one fault per
+// named operator at a pseudo-random execution index in [1, maxExec].
+func SeededFaultPlan(seed int64, ops []string, maxExec int64) *FaultPlan {
+	return runtime.SeededFaultPlan(seed, ops, maxExec)
+}
 
 // Execution modes and affinity policies.
 const (
@@ -204,6 +251,16 @@ func (p *Program) NewEngine(cfg RunConfig) *Engine {
 // and returns the result value.
 func (p *Program) Run(cfg RunConfig, args ...Value) (Value, error) {
 	return p.NewEngine(cfg).Run(args...)
+}
+
+// RunContext executes like Run under a context: cancellation (or the
+// context deadline) stops the run at the next operator boundary, drains
+// the schedulers, releases all live block references, and returns a
+// RunError that unwraps to the context's error. Bound individual operator
+// executions with RunConfig.OpTimeout or Operator.Timeout — Go cannot
+// preempt an operator already inside embedded code.
+func (p *Program) RunContext(ctx context.Context, cfg RunConfig, args ...Value) (Value, error) {
+	return p.NewEngine(cfg).RunContext(ctx, args...)
 }
 
 // RunStats executes like Run but also returns the engine's statistics and

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/value"
 )
@@ -58,9 +59,27 @@ type Operator struct {
 	// Pure operators have no side effects and may be folded at compile time
 	// when every argument is a constant.
 	Pure bool
+	// Retryable declares that a failed execution may be re-run from its
+	// inputs. The §8 contention protocol guarantees the inputs themselves:
+	// the runtime snapshots destructively-declared arguments before a
+	// retryable attempt, so a retry always sees pristine blocks. The
+	// annotation is therefore about effects *outside* the block protocol —
+	// an operator that mutates shared host state mid-body must only be
+	// marked Retryable when a failure cannot leave that state half-updated
+	// (e.g. failures occur only at entry, or the body is idempotent).
+	Retryable bool
+	// Timeout bounds one execution of this operator; zero defers to
+	// Config.OpTimeout (and a negative value disables the bound for this
+	// operator even when a global one is set).
+	Timeout time.Duration
 	// Fn is the implementation.
 	Fn Func
 }
+
+// CanRetry reports whether a failed execution may be re-run: explicitly
+// Retryable operators, plus Pure operators (no side effects means re-running
+// is always safe).
+func (op *Operator) CanRetry() bool { return op.Retryable || op.Pure }
 
 // MayModify reports whether argument i is annotated destructive.
 func (op *Operator) MayModify(i int) bool {

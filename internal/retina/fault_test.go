@@ -1,0 +1,104 @@
+package retina
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// v2Ops lists every embedded operator of the balanced program.
+var v2Ops = []string{"set_up", "target_split", "target_bite", "pre_update",
+	"convol_split", "convol_bite", "update_split", "update_bite", "done_up"}
+
+// TestFaultRecoveryIdenticalOutput is the PR's acceptance criterion: a fault
+// plan killing each retina operator exactly once — panic and error variants —
+// must complete under retry with output identical to the fault-free run, in
+// both execution modes. The operators share one mutable scene through their
+// opaque payloads; they are safe to re-run because faults fire at operator
+// entry and every operator validates before its first write.
+func TestFaultRecoveryIdenticalOutput(t *testing.T) {
+	cfg := testConfig()
+	want := Reference(cfg)
+	for _, mode := range []runtime.Mode{runtime.Simulated, runtime.Real} {
+		for _, kind := range []runtime.FaultKind{runtime.FaultError, runtime.FaultPanic} {
+			plan := runtime.KillOnce(kind, v2Ops...)
+			scene, eng, err := Run(cfg, V2, runtime.Config{
+				Mode: mode, Workers: 4, MaxOps: 5_000_000,
+				Retry:  runtime.RetryPolicy{MaxAttempts: 3},
+				Faults: plan,
+			})
+			if err != nil {
+				t.Fatalf("mode %v kind %v: %v", mode, kind, err)
+			}
+			if !Equal(scene, want) {
+				t.Errorf("mode %v kind %v: faulted run diverged from the fault-free output", mode, kind)
+			}
+			st := eng.Stats()
+			if st.FaultsInjected != int64(len(v2Ops)) {
+				t.Errorf("mode %v kind %v: FaultsInjected = %d, want %d",
+					mode, kind, st.FaultsInjected, len(v2Ops))
+			}
+			if st.Retries != st.FaultsInjected {
+				t.Errorf("mode %v kind %v: Retries = %d, want %d (each fault retried once)",
+					mode, kind, st.Retries, st.FaultsInjected)
+			}
+		}
+	}
+}
+
+// TestSeededFaultPlanRecovery drives the seeded plan across several seeds:
+// faults land at pseudo-random execution indices, so retries hit operators
+// mid-stream (not just on their first call), and the output must still
+// match the oracle.
+func TestSeededFaultPlanRecovery(t *testing.T) {
+	cfg := testConfig()
+	want := Reference(cfg)
+	for _, seed := range []int64{1, 1990, 7777} {
+		plan := runtime.SeededFaultPlan(seed, v2Ops, 8)
+		scene, eng, err := Run(cfg, V2, runtime.Config{
+			Mode: runtime.Real, Workers: 4, MaxOps: 5_000_000,
+			Retry:  runtime.RetryPolicy{MaxAttempts: 3},
+			Faults: plan,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !Equal(scene, want) {
+			t.Errorf("seed %d: faulted run diverged from the fault-free output", seed)
+		}
+		if eng.Stats().FaultsInjected == 0 {
+			t.Errorf("seed %d: no faults fired; plan indices out of range?", seed)
+		}
+	}
+}
+
+// TestFaultWithoutRetryFailsCleanly: with retry disabled the injected fault
+// must surface as a structured error naming the operator, and the teardown
+// must release every block.
+func TestFaultWithoutRetryFailsCleanly(t *testing.T) {
+	cfg := testConfig()
+	for _, mode := range []runtime.Mode{runtime.Simulated, runtime.Real} {
+		prog, err := CompileProgram(cfg, V2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := runtime.New(prog, runtime.Config{
+			Mode: mode, Workers: 4, MaxOps: 5_000_000,
+			Faults: runtime.KillOnce(runtime.FaultError, "convol_bite"),
+		})
+		_, err = eng.Run()
+		re, ok := err.(*runtime.RunError)
+		if !ok {
+			t.Fatalf("mode %v: err = %v, want *RunError", mode, err)
+		}
+		if re.Op != "convol_bite" || re.Kind != runtime.FailError {
+			t.Errorf("mode %v: RunError{Op: %q, Kind: %v}, want convol_bite/FailError",
+				mode, re.Op, re.Kind)
+		}
+		st := eng.Stats().Blocks
+		if st.Allocated != st.Freed {
+			t.Errorf("mode %v: error-path block leak: allocated %d, freed %d",
+				mode, st.Allocated, st.Freed)
+		}
+	}
+}

@@ -79,6 +79,13 @@ func ExtractScene(v value.Value) (*Scene, error) {
 // Operators returns a registry with the retina operators for cfg chained
 // onto the builtin registry. Per-argument destructive annotations follow
 // §2.1: every operator that mutates or consumes a block says so.
+//
+// All operators are marked Retryable: the pieces carry the scene through
+// shallow-shared Opaque payloads, so the declaration rests on each body
+// validating every argument before its first mutation — a failure exit
+// (and an injected fault, which fires at operator entry) never leaves the
+// shared scene half-updated, and mid-loop validation failures only repeat
+// idempotent assignments on retry.
 func Operators(cfg Config) (*operator.Registry, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -86,7 +93,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	r := operator.NewRegistry(operator.Builtins())
 
 	r.MustRegister(&operator.Operator{
-		Name: "set_up", Arity: 0,
+		Name: "set_up", Arity: 0, Retryable: true,
 		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
 			s := NewScene(cfg)
 			ctx.Charge(int64(cfg.W * cfg.H))
@@ -95,7 +102,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "target_split", Arity: 1, Destructive: []bool{true},
+		Name: "target_split", Arity: 1, Destructive: []bool{true}, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "target_split")
 			if err != nil {
@@ -119,7 +126,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "target_bite", Arity: 1, Destructive: []bool{true},
+		Name: "target_bite", Arity: 1, Destructive: []bool{true}, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "target_bite")
 			if err != nil {
@@ -136,7 +143,8 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "pre_update", Arity: Quarters, Destructive: []bool{true, true, true, true},
+		Name: "pre_update", Arity: Quarters, Retryable: true,
+		Destructive: []bool{true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			var s *Scene
 			pieces := make([]*targetPiece, Quarters)
@@ -175,7 +183,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "convol_split", Arity: 1, Destructive: []bool{true},
+		Name: "convol_split", Arity: 1, Destructive: []bool{true}, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "convol_split")
 			if err != nil {
@@ -205,7 +213,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "convol_bite", Arity: 2, Destructive: []bool{true, false},
+		Name: "convol_bite", Arity: 2, Destructive: []bool{true, false}, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "convol_bite")
 			if err != nil {
@@ -226,7 +234,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "post_up", Arity: 1 + Quarters,
+		Name: "post_up", Arity: 1 + Quarters, Retryable: true,
 		Destructive: []bool{false, true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			s, slab, err := mergeConvolPieces(args)
@@ -254,7 +262,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "update_split", Arity: Quarters,
+		Name: "update_split", Arity: Quarters, Retryable: true,
 		Destructive: []bool{true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			s, slab, err := mergeConvolPieces(args)
@@ -277,7 +285,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "update_bite", Arity: 2, Destructive: []bool{true, false},
+		Name: "update_bite", Arity: 2, Destructive: []bool{true, false}, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "update_bite")
 			if err != nil {
@@ -300,7 +308,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "done_up", Arity: 1 + Quarters,
+		Name: "done_up", Arity: 1 + Quarters, Retryable: true,
 		Destructive: []bool{false, true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			var s *Scene

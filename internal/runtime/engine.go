@@ -34,10 +34,12 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -115,7 +117,34 @@ type Config struct {
 	// MaxOps aborts runs exceeding this many operator executions (a guard
 	// against runaway recursion in tests); zero means no limit.
 	MaxOps int64
+	// OpTimeout bounds every operator execution (per attempt); zero means
+	// unbounded. An individual Operator.Timeout overrides it. Timed-out
+	// executions count as failed attempts and may retry under Retry.
+	OpTimeout time.Duration
+	// Retry re-runs failed executions of operators that declare
+	// Operator.CanRetry. Destructively-declared arguments are snapshotted
+	// before each retryable attempt, so retries see pristine inputs and the
+	// run's output stays bit-identical to a fault-free run (§8 makes this
+	// sound: an operator only ever mutates blocks it solely owns).
+	Retry RetryPolicy
+	// Faults arms a deterministic fault-injection plan (see faultinject.go);
+	// nil injects nothing. Plans are stateful — use a fresh or Reset plan
+	// per run.
+	Faults *FaultPlan
 }
+
+// RetryPolicy controls deterministic operator retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions allowed per operator
+	// node (1 or 0 means no retry).
+	MaxAttempts int
+	// Backoff is the delay between attempts (constant; deterministic
+	// schedules need no jitter).
+	Backoff time.Duration
+}
+
+// enabled reports whether the policy allows any retry at all.
+func (r RetryPolicy) enabled() bool { return r.MaxAttempts > 1 }
 
 func (c Config) workers() int {
 	if c.Workers > 0 {
@@ -168,10 +197,22 @@ type Engine struct {
 	stopped atomic.Bool
 	errOnce sync.Once
 	runErr  error
+	// failedAct is the activation executing when the first error was
+	// recorded (nil when the failure is not tied to one); rootAct is the
+	// main activation. Both seed the error-path teardown sweep and are read
+	// only after the run quiesces.
+	failedAct *activation
+	rootAct   *activation
 
 	result atomic.Value // value.Value
 
 	maxOps int64
+
+	// runCtx/ctxDone carry the RunContext cancellation signal. ctxDone is
+	// nil for context.Background, keeping the disabled-path cost of the
+	// worker-loop poll to a single nil check.
+	runCtx  context.Context
+	ctxDone <-chan struct{}
 }
 
 // New prepares an engine for prog under cfg. The same program can be run by
@@ -202,6 +243,16 @@ var ErrAlreadyRun = errors.New("delirium: engine already ran; create a new engin
 // passes validation consumes the engine, so a call rejected for a missing
 // main or an argument-count mismatch can be corrected and retried.
 func (e *Engine) Run(args ...value.Value) (value.Value, error) {
+	return e.RunContext(context.Background(), args...)
+}
+
+// RunContext is Run under a context: cancellation (or the context deadline)
+// stops the run at the next operator boundary, drains the schedulers, and
+// returns a RunError with Kind FailCanceled that unwraps to the context's
+// error. A nil ctx is context.Background. Cancellation cannot preempt an
+// operator already inside embedded Go code — bound that with
+// Config.OpTimeout or Operator.Timeout.
+func (e *Engine) RunContext(ctx context.Context, args ...value.Value) (value.Value, error) {
 	main := e.prog.Main
 	if main == nil {
 		return nil, ErrNoMain
@@ -209,8 +260,20 @@ func (e *Engine) Run(args ...value.Value) (value.Value, error) {
 	if len(args) != main.NParams {
 		return nil, fmt.Errorf("delirium: main expects %d arguments, got %d", main.NParams, len(args))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A context that is already dead rejects the run without consuming the
+	// engine, like any other validation failure.
+	if err := ctx.Err(); err != nil {
+		return nil, &RunError{Kind: FailCanceled, Err: err}
+	}
 	if !e.started.CompareAndSwap(false, true) {
 		return nil, ErrAlreadyRun
+	}
+	e.runCtx = ctx
+	if ctx.Done() != nil {
+		e.ctxDone = ctx.Done()
 	}
 	switch e.cfg.Mode {
 	case Simulated:
@@ -236,9 +299,15 @@ func (e *Engine) Trace() *Trace {
 }
 
 // fail records the first error and stops the run.
-func (e *Engine) fail(err error) {
+func (e *Engine) fail(err error) { e.failAt(nil, err) }
+
+// failAt records the first error plus the activation it occurred in (for
+// the error-path teardown sweep) and stops the run. Later errors are
+// dropped: the first failure wins, matching the errOnce contract.
+func (e *Engine) failAt(a *activation, err error) {
 	e.errOnce.Do(func() {
 		e.runErr = err
+		e.failedAct = a
 		e.stopped.Store(true)
 	})
 }

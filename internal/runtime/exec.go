@@ -1,8 +1,12 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/value"
@@ -27,6 +31,11 @@ type worker struct {
 	// disabled case is a single nil check.
 	tr *tracer
 
+	// detached marks the shadow worker a deadline-bounded operator call
+	// runs under: its charges stay private until the call completes, so an
+	// abandoned (timed-out) goroutine cannot race on shared statistics.
+	detached bool
+
 	// charge accumulates Context.Charge units of the node being executed.
 	charge int64
 	// localWords/remoteWords price the executed node's block traffic for
@@ -38,6 +47,9 @@ type worker struct {
 // Charge implements operator.Context.
 func (w *worker) Charge(units int64) {
 	w.charge += units
+	if w.detached {
+		return
+	}
 	atomic.AddInt64(&w.e.stats.ChargedUnits, units)
 }
 
@@ -56,22 +68,279 @@ func traceLabel(n *graph.Node) string {
 	return n.Kind.String()
 }
 
-// runtimeError decorates an error with the failing node's source position.
-func runtimeError(n *graph.Node, err error) error {
-	return fmt.Errorf("%s: %s: %w", n.Pos, n.Name, err)
+// nodeError wraps a node failure in the structured RunError: position,
+// node, enclosing template, activation path, and attempt count, with the
+// failure kind recovered from the cause (panic, timeout, cancellation).
+func (e *Engine) nodeError(a *activation, n *graph.Node, err error, attempts int) error {
+	re := &RunError{
+		Kind:     FailError,
+		Op:       traceLabel(n),
+		Template: a.tmpl.Name,
+		Pos:      n.Pos.String(),
+		Path:     activationPath(a),
+		Attempts: attempts,
+		Err:      err,
+	}
+	switch x := err.(type) {
+	case *panicError:
+		re.Kind = FailPanic
+		re.Stack = x.stack
+	case *opTimeoutError:
+		re.Kind = FailTimeout
+	default:
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			re.Kind = FailCanceled
+		}
+	}
+	return re
+}
+
+// failNode is the common node error exit: the node consumed nothing, so
+// every input reference is released and the slots cleared before the
+// structured error is built.
+func (e *Engine) failNode(a *activation, n *graph.Node, ins []value.Value, err error) error {
+	for _, in := range ins {
+		value.Release(in, &e.stats.Blocks)
+	}
+	clearInputs(ins)
+	return e.nodeError(a, n, err, 1)
+}
+
+// clearInputs nils consumed input slots (ins aliases the activation
+// buffer). Every execution path clears its inputs before complete/expand —
+// which may retire and recycle the activation — so the error-path teardown
+// sweep only ever sees references that are still owned by a waiting node.
+func clearInputs(ins []value.Value) {
+	for i := range ins {
+		ins[i] = nil
+	}
 }
 
 // callOperator invokes an operator, converting a panic in the embedded Go
-// code into an ordinary execution error. Operators are user code; a bug in
-// one sub-computation must fail the program deterministically rather than
-// crash the whole engine and its sibling workers.
-func callOperator(w *worker, n *graph.Node, ins []value.Value) (result value.Value, err error) {
+// code into an ordinary execution error carrying the captured stack.
+// Operators are user code; a bug in one sub-computation must fail the
+// program deterministically rather than crash the whole engine and its
+// sibling workers. An armed fault fires first — before the operator body
+// has touched anything — which is what makes an injected failure exactly
+// re-runnable.
+func callOperator(w *worker, n *graph.Node, ins []value.Value, f *Fault) (result value.Value, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("operator panicked: %v", r)
+			err = &panicError{val: r, stack: debug.Stack()}
 		}
 	}()
+	if f != nil {
+		if ferr := f.fire(); ferr != nil {
+			return nil, ferr
+		}
+	}
 	return n.Op.Fn(w, ins)
+}
+
+// callOperatorBounded runs one operator attempt under a deadline. The body
+// runs on its own goroutine with a detached shadow worker and a private
+// argument slice: if the deadline fires the goroutine is abandoned (Go
+// cannot preempt embedded code), and the isolation guarantees the stray
+// goroutine cannot race with the worker's per-node state or with a retry
+// rewriting the activation buffer. Charges merge back only on completion.
+func (e *Engine) callOperatorBounded(w *worker, n *graph.Node, ins []value.Value, f *Fault, limit time.Duration) (value.Value, error) {
+	type opResult struct {
+		v   value.Value
+		err error
+	}
+	sw := &worker{e: e, proc: w.proc, detached: true}
+	argv := make([]value.Value, len(ins))
+	copy(argv, ins)
+	ch := make(chan opResult, 1) // buffered: an abandoned call must not block
+	go func() {
+		v, err := callOperator(sw, n, argv, f)
+		ch <- opResult{v, err}
+	}()
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		w.charge += sw.charge
+		w.localWords += sw.localWords
+		w.remoteWords += sw.remoteWords
+		atomic.AddInt64(&e.stats.ChargedUnits, sw.charge)
+		return r.v, r.err
+	case <-timer.C:
+		atomic.AddInt64(&e.stats.OpTimeouts, 1)
+		return nil, &opTimeoutError{op: n.Op.Name, limit: limit}
+	case <-e.ctxDone:
+		return nil, e.runCtx.Err()
+	}
+}
+
+// invokeOp dispatches one operator attempt: it draws the next armed fault
+// for this operator (if a plan is configured) and routes through the
+// deadline wrapper when a timeout bound applies. A per-operator Timeout
+// overrides Config.OpTimeout; a negative one disables the bound entirely.
+func (e *Engine) invokeOp(w *worker, a *activation, n *graph.Node, ins []value.Value) (value.Value, error) {
+	var f *Fault
+	if e.cfg.Faults != nil {
+		if f = e.cfg.Faults.next(n.Op.Name); f != nil {
+			atomic.AddInt64(&e.stats.FaultsInjected, 1)
+			if w.tr != nil {
+				w.tr.record(w.proc, TraceEvent{Type: TraceFault, Ts: w.tr.now(),
+					Act: a.seq, Node: int32(n.ID), Name: n.Name, Arg: f.Execution})
+			}
+		}
+	}
+	limit := e.cfg.OpTimeout
+	if n.Op.Timeout != 0 {
+		limit = n.Op.Timeout
+	}
+	if limit <= 0 {
+		return callOperator(w, n, ins, f)
+	}
+	return e.callOperatorBounded(w, n, ins, f, limit)
+}
+
+// execOp runs one operator node: fault injection, the optional deadline,
+// and deterministic retry. While attempts remain for a retryable operator,
+// each attempt runs on deep copies of the destructively-declared
+// arguments, keeping the originals pristine — §8 guarantees an operator
+// mutates only blocks it exclusively owns, so a failed attempt's damage is
+// confined to its copies and the re-run sees bit-identical inputs. The
+// final (or only) attempt runs the ordinary copy-on-write protocol in
+// place, so a run with retry configured but no failures does no extra
+// copying beyond the snapshots of attempts that had successors.
+func (e *Engine) execOp(w *worker, a *activation, n *graph.Node, ins []value.Value) error {
+	atomic.AddInt64(&e.stats.OperatorsRun, 1)
+	if e.cfg.Mode == Simulated {
+		w.touchInputs(ins)
+	}
+	maxAttempts := 1
+	if e.cfg.Retry.enabled() && n.Op.CanRetry() {
+		maxAttempts = e.cfg.Retry.MaxAttempts
+	}
+	// pristine[i] != nil marks ins[i] as an attempt copy whose untouched
+	// original is pristine[i].
+	var pristine []value.Value
+	for attempt := 1; ; attempt++ {
+		if attempt < maxAttempts {
+			var snaps int64
+			for i := range ins {
+				if !n.Op.MayModify(i) {
+					continue
+				}
+				if pristine == nil {
+					pristine = make([]value.Value, len(ins))
+				}
+				if pristine[i] == nil {
+					pristine[i] = ins[i]
+				}
+				cp, words := snapshotValue(pristine[i], &e.stats.Blocks, &snaps)
+				ins[i] = cp
+				w.localWords += int64(words)
+			}
+			if snaps > 0 {
+				atomic.AddInt64(&e.stats.SnapshotCopies, snaps)
+			}
+		} else {
+			// Restore any pristine originals and enforce the sole-reference
+			// rule in place (§8 rule 2).
+			for i := range ins {
+				if pristine != nil && pristine[i] != nil {
+					ins[i] = pristine[i]
+					pristine[i] = nil
+				}
+				if n.Op.MayModify(i) {
+					nv, copied := makeWritable(ins[i], &e.stats.Blocks)
+					ins[i] = nv
+					w.localWords += int64(copied)
+					if w.tr != nil && copied > 0 {
+						w.tr.record(w.proc, TraceEvent{Type: TraceBlockCopy, Ts: w.tr.now(),
+							Act: a.seq, Node: int32(n.ID), Arg: int64(copied), Name: n.Name})
+					}
+				}
+			}
+		}
+		result, err := e.invokeOp(w, a, n, ins)
+		if err == nil {
+			if result == nil {
+				result = value.Null{}
+			}
+			if e.cfg.Mode == Simulated {
+				w.homeValue(result)
+			}
+			transferRefs(ins, result, &e.stats.Blocks)
+			// The attempt consumed its (copied) inputs; the pristine
+			// originals held back for a retry are now surplus.
+			for i := range pristine {
+				if pristine[i] != nil {
+					value.Release(pristine[i], &e.stats.Blocks)
+					pristine[i] = nil
+				}
+			}
+			clearInputs(ins)
+			e.complete(w, a, n, result)
+			return nil
+		}
+		if attempt < maxAttempts && retryable(err) {
+			atomic.AddInt64(&e.stats.Retries, 1)
+			if w.tr != nil {
+				w.tr.record(w.proc, TraceEvent{Type: TraceRetry, Ts: w.tr.now(),
+					Act: a.seq, Node: int32(n.ID), Name: n.Name, Arg: int64(attempt)})
+			}
+			// Drop the (possibly half-mutated) attempt copies; the pristine
+			// originals take their place for the next attempt.
+			for i := range pristine {
+				if pristine[i] != nil {
+					value.Release(ins[i], &e.stats.Blocks)
+					ins[i] = pristine[i]
+				}
+			}
+			if e.cfg.Retry.Backoff > 0 {
+				time.Sleep(e.cfg.Retry.Backoff)
+			}
+			continue
+		}
+		// Out of attempts (or a non-retryable failure): the node consumed
+		// nothing — release every input reference, attempt copies and held
+		// pristine originals alike, so the teardown sweep finds no stale
+		// slots.
+		for i := range ins {
+			value.Release(ins[i], &e.stats.Blocks)
+			if pristine != nil && pristine[i] != nil {
+				value.Release(pristine[i], &e.stats.Blocks)
+			}
+		}
+		clearInputs(ins)
+		return e.nodeError(a, n, err, attempt)
+	}
+}
+
+// snapshotValue deep-copies every block reachable from v into a fresh,
+// exclusively-owned block (affinity preserved), leaving v and its
+// reference counts untouched; copies counts the blocks duplicated.
+// Closures are shared rather than copied — they are never destructively
+// modified — but the snapshot retains their environment so the attempt
+// copy owns its own references and settle/release stays balanced.
+func snapshotValue(v value.Value, st *value.BlockStats, copies *int64) (value.Value, int) {
+	switch x := v.(type) {
+	case *value.Block:
+		nb := value.NewBlockStats(x.Data().Copy(), st)
+		nb.SetAffinity(x.Affinity())
+		*copies++
+		return nb, nb.Size()
+	case value.Tuple:
+		out := make(value.Tuple, len(x))
+		words := 0
+		for i, el := range x {
+			var ew int
+			out[i], ew = snapshotValue(el, st, copies)
+			words += ew
+		}
+		return out, words
+	case *value.Closure:
+		value.Retain(x, st)
+		return x, 0
+	default:
+		return v, 0
+	}
 }
 
 // execNode runs one runnable node. It performs the destructive-argument
@@ -81,58 +350,39 @@ func callOperator(w *worker, n *graph.Node, ins []value.Value) (result value.Val
 func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 	ops := atomic.AddInt64(&e.stats.OpsExecuted, 1)
 	if e.maxOps > 0 && ops > e.maxOps {
-		return fmt.Errorf("delirium: operation budget of %d executions exceeded", e.maxOps)
+		return errBudget(e.maxOps, activationPath(a))
+	}
+	// Cancellation is polled at operator boundaries, amortized across
+	// executions; the disabled case costs one nil check per node.
+	if e.ctxDone != nil && ops&63 == 0 {
+		select {
+		case <-e.ctxDone:
+			return &RunError{Kind: FailCanceled, Path: activationPath(a), Err: e.runCtx.Err()}
+		default:
+		}
 	}
 	w.charge, w.localWords, w.remoteWords = 0, 0, 0
 	ins := a.inputs(n)
 
 	switch n.Kind {
 	case graph.OpNode:
-		atomic.AddInt64(&e.stats.OperatorsRun, 1)
-		// Price and re-home the input blocks before execution.
-		if e.cfg.Mode == Simulated {
-			w.touchInputs(ins)
-		}
-		// Enforce the sole-reference rule for destructive arguments.
-		for i := range ins {
-			if n.Op.MayModify(i) {
-				nv, copied := makeWritable(ins[i], &e.stats.Blocks)
-				ins[i] = nv
-				w.localWords += int64(copied)
-				if w.tr != nil && copied > 0 {
-					w.tr.record(w.proc, TraceEvent{Type: TraceBlockCopy, Ts: w.tr.now(),
-						Act: a.seq, Node: int32(n.ID), Arg: int64(copied), Name: n.Name})
-				}
-			}
-		}
-		result, err := callOperator(w, n, ins)
-		if err != nil {
-			return runtimeError(n, err)
-		}
-		if result == nil {
-			result = value.Null{}
-		}
-		if e.cfg.Mode == Simulated {
-			w.homeValue(result)
-		}
-		transferRefs(ins, result, &e.stats.Blocks)
-		e.complete(w, a, n, result)
-		return nil
+		return e.execOp(w, a, n, ins)
 
 	case graph.TupleNode:
 		result := make(value.Tuple, len(ins))
 		copy(result, ins)
 		// Every input occurrence appears in the result: pure transfer.
+		clearInputs(ins)
 		e.complete(w, a, n, result)
 		return nil
 
 	case graph.DetupleNode:
 		tup, ok := ins[0].(value.Tuple)
 		if !ok {
-			return runtimeError(n, fmt.Errorf("decomposing %s value; multiple-value package required", ins[0].Kind()))
+			return e.failNode(a, n, ins, fmt.Errorf("decomposing %s value; multiple-value package required", ins[0].Kind()))
 		}
 		if n.Index >= len(tup) {
-			return runtimeError(n, fmt.Errorf("package has %d values, need %d", len(tup), n.Index+1))
+			return e.failNode(a, n, ins, fmt.Errorf("package has %d values, need %d", len(tup), n.Index+1))
 		}
 		result := tup[n.Index]
 		if n.SpreadConsumer {
@@ -148,6 +398,7 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		} else {
 			transferRefs(ins, result, &e.stats.Blocks)
 		}
+		clearInputs(ins)
 		e.complete(w, a, n, result)
 		return nil
 
@@ -155,25 +406,27 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		env := make([]value.Value, len(ins))
 		copy(env, ins)
 		result := &value.Closure{Fn: n.Callee, Env: env}
+		clearInputs(ins)
 		e.complete(w, a, n, result)
 		return nil
 
 	case graph.CallNode:
 		args := make([]value.Value, len(ins))
 		copy(args, ins)
+		clearInputs(ins)
 		return e.expand(w, a, n, n.Callee, args)
 
 	case graph.CallClosureNode:
 		cl, ok := ins[0].(*value.Closure)
 		if !ok {
-			return runtimeError(n, fmt.Errorf("calling %s value; function required", ins[0].Kind()))
+			return e.failNode(a, n, ins, fmt.Errorf("calling %s value; function required", ins[0].Kind()))
 		}
 		callee, ok := cl.Fn.(*graph.Template)
 		if !ok {
-			return runtimeError(n, fmt.Errorf("closure has no executable template"))
+			return e.failNode(a, n, ins, fmt.Errorf("closure has no executable template"))
 		}
 		if got := len(ins) - 1; got != callee.ParamCount() {
-			return runtimeError(n, fmt.Errorf("function %s expects %d arguments, got %d",
+			return e.failNode(a, n, ins, fmt.Errorf("function %s expects %d arguments, got %d",
 				callee.Name, callee.ParamCount(), got))
 		}
 		args := make([]value.Value, 0, len(ins)-1+len(cl.Env))
@@ -183,12 +436,13 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 			args = append(args, envV)
 		}
 		value.Release(cl, &e.stats.Blocks) // drops the closure's env refs
+		clearInputs(ins)
 		return e.expand(w, a, n, callee, args)
 
 	case graph.CondNode:
 		truth, err := value.Truthy(ins[0])
 		if err != nil {
-			return runtimeError(n, err)
+			return e.failNode(a, n, ins, err)
 		}
 		value.Release(ins[0], &e.stats.Blocks)
 		branch := n.Else
@@ -197,10 +451,11 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		}
 		args := make([]value.Value, len(ins)-1)
 		copy(args, ins[1:])
+		clearInputs(ins)
 		return e.expand(w, a, n, branch, args)
 
 	default:
-		return runtimeError(n, fmt.Errorf("internal: node kind %s reached the scheduler", n.Kind))
+		return e.failNode(a, n, ins, fmt.Errorf("internal: node kind %s reached the scheduler", n.Kind))
 	}
 }
 
@@ -214,10 +469,10 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 // activations regardless of trip count.
 func (e *Engine) expand(w *worker, a *activation, n *graph.Node, callee *graph.Template, args []value.Value) error {
 	if callee == nil {
-		return runtimeError(n, fmt.Errorf("internal: unlinked callee"))
+		return e.failNode(a, n, args, fmt.Errorf("internal: unlinked callee"))
 	}
 	if len(args) != callee.NumArgs() {
-		return runtimeError(n, fmt.Errorf("internal: %s expects %d activation arguments, got %d",
+		return e.failNode(a, n, args, fmt.Errorf("internal: %s expects %d activation arguments, got %d",
 			callee.Name, callee.NumArgs(), len(args)))
 	}
 	child := e.acquire(w.proc, callee)
@@ -324,6 +579,65 @@ func (e *Engine) finishNode(a *activation) {
 	if atomic.AddInt32(&a.remaining, -1) == 0 {
 		e.stats.noteLive(-1, -int64(a.tmpl.ActivationWords()))
 		e.release(a)
+	}
+}
+
+// cleanupAfterError releases every block reference a failed run still
+// holds: the buffered inputs of live activations reachable from the
+// abandoned ready-queue tasks, the failing activation, the root, and each
+// of their continuation ancestors — plus any result value produced before
+// the failure won the race. Every live activation either has abandoned
+// queue work or is an ancestor (via cont) of an activation that does, so
+// the sweep closes over the live set; the exception is an activation
+// stalled forever below a true deadlock, which only a compiler bug can
+// produce. Called single-threaded after the run has quiesced; retired
+// activations are safe to visit because every execution path clears its
+// consumed input slots.
+func (e *Engine) cleanupAfterError(pending []*task) {
+	seen := make(map[*activation]bool)
+	sweep := func(a *activation) {
+		for cur := a; cur != nil && !seen[cur]; cur = cur.cont.act {
+			seen[cur] = true
+			off, _ := cur.tmpl.Layout()
+			for _, n := range cur.tmpl.Nodes {
+				for p := 0; p < n.NIn; p++ {
+					slot := off[n.ID] + p
+					v := cur.buf[slot]
+					if v == nil {
+						continue
+					}
+					cur.buf[slot] = nil
+					// A Spread producer stores the same package in every
+					// consumer port with its ownership split: this port owns
+					// element Index (plus the uncovered elements when it is
+					// the designated sibling), never the whole tuple.
+					if tup, ok := v.(value.Tuple); ok && n.SpreadConsumer {
+						if n.Index < len(tup) {
+							value.Release(tup[n.Index], &e.stats.Blocks)
+						}
+						if n.CoveredIdx != nil {
+							for j, el := range tup {
+								if !intsContain(n.CoveredIdx, j) {
+									value.Release(el, &e.stats.Blocks)
+								}
+							}
+						}
+						continue
+					}
+					value.Release(v, &e.stats.Blocks)
+				}
+			}
+		}
+	}
+	for _, t := range pending {
+		if t != nil {
+			sweep(t.act)
+		}
+	}
+	sweep(e.failedAct)
+	sweep(e.rootAct)
+	if v, ok := e.result.Load().(value.Value); ok {
+		value.Release(v, &e.stats.Blocks)
 	}
 }
 

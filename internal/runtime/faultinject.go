@@ -1,0 +1,188 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the deterministic fault-injection harness — the standing
+// test rig for every failure path. A FaultPlan arms faults of the form
+// "fail the k-th execution of operator X with a panic / an error / a
+// delay"; the engine consults the plan at each operator dispatch, so an
+// armed fault fires before the operator body runs. That boundary is the
+// one the §8 protocol makes recoverable: the operator has not yet touched
+// its (snapshotted) inputs, so a retry re-executes it exactly, and a
+// faulty run's output is bit-identical to a fault-free run.
+//
+// Execution counting is per operator name and atomic: in Real mode several
+// nodes may race to increment the counter, but exactly one of them draws
+// index k, so a plan entry fires exactly once regardless of schedule — the
+// property the determinism-under-faults suite relies on under -race.
+
+// FaultKind selects what an armed fault does.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultError fails the execution with an injected error.
+	FaultError FaultKind = iota
+	// FaultPanic panics inside the operator call, exercising the genuine
+	// recover-and-capture path.
+	FaultPanic
+	// FaultDelay stalls the execution by Delay before running the operator
+	// body — the trigger for exercising OpTimeout.
+	FaultDelay
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultPanic:
+		return "panic"
+	case FaultDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("faultkind(%d)", int(k))
+	}
+}
+
+// Fault arms one failure: the Execution-th dispatch of operator Op (1-based,
+// counted across the whole run including failed and retried executions)
+// fires Kind.
+type Fault struct {
+	// Op is the operator name to target.
+	Op string
+	// Execution selects the k-th execution of Op (1-based; 0 means 1).
+	Execution int64
+	// Kind is what happens.
+	Kind FaultKind
+	// Delay is the stall duration for FaultDelay.
+	Delay time.Duration
+}
+
+// fire applies the fault: it returns the injected error for FaultError,
+// panics for FaultPanic, and sleeps then returns nil for FaultDelay (the
+// caller proceeds to run the operator).
+func (f *Fault) fire() error {
+	switch f.Kind {
+	case FaultPanic:
+		panic(fmt.Sprintf("fault injected: %s execution %d", f.Op, f.Execution))
+	case FaultDelay:
+		time.Sleep(f.Delay)
+		return nil
+	default:
+		return fmt.Errorf("fault injected: %s execution %d fails", f.Op, f.Execution)
+	}
+}
+
+// opFaults is one operator's armed faults plus its execution counter.
+type opFaults struct {
+	count  atomic.Int64
+	byExec map[int64]*Fault // immutable after plan construction
+}
+
+// FaultPlan is a deterministic schedule of injected failures, shared by
+// both executors via Config.Faults. The plan is stateful (it counts
+// executions), so use a fresh plan — or Reset — per run.
+type FaultPlan struct {
+	byOp map[string]*opFaults
+	mu   sync.Mutex // guards construction-time mutation only
+}
+
+// NewFaultPlan builds a plan from the given faults. Arming two faults for
+// the same (operator, execution) keeps the last one.
+func NewFaultPlan(faults ...Fault) *FaultPlan {
+	p := &FaultPlan{byOp: make(map[string]*opFaults)}
+	for i := range faults {
+		f := faults[i]
+		if f.Execution <= 0 {
+			f.Execution = 1
+		}
+		of := p.byOp[f.Op]
+		if of == nil {
+			of = &opFaults{byExec: make(map[int64]*Fault)}
+			p.byOp[f.Op] = of
+		}
+		of.byExec[f.Execution] = &f
+	}
+	return p
+}
+
+// KillOnce returns a plan that fails the first execution of every named
+// operator with kind — the "kill each operator exactly once" schedule the
+// determinism suite runs.
+func KillOnce(kind FaultKind, ops ...string) *FaultPlan {
+	faults := make([]Fault, len(ops))
+	for i, op := range ops {
+		faults[i] = Fault{Op: op, Execution: 1, Kind: kind}
+	}
+	return NewFaultPlan(faults...)
+}
+
+// SeededFaultPlan derives a deterministic plan from seed: each named
+// operator gets one fault at a pseudo-random execution index in
+// [1, maxExec], alternating pseudo-randomly between error and panic
+// faults. Identical (seed, ops, maxExec) always produce the identical
+// plan; ops are considered in sorted order so map iteration cannot leak in.
+func SeededFaultPlan(seed int64, ops []string, maxExec int64) *FaultPlan {
+	if maxExec < 1 {
+		maxExec = 1
+	}
+	sorted := append([]string(nil), ops...)
+	sort.Strings(sorted)
+	// xorshift64*: tiny, deterministic, and dependency-free.
+	x := uint64(seed)*2685821657736338717 + 1442695040888963407
+	next := func() uint64 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 2685821657736338717
+	}
+	faults := make([]Fault, 0, len(sorted))
+	for _, op := range sorted {
+		kind := FaultError
+		if next()&1 == 1 {
+			kind = FaultPanic
+		}
+		faults = append(faults, Fault{
+			Op:        op,
+			Execution: int64(next()%uint64(maxExec)) + 1,
+			Kind:      kind,
+		})
+	}
+	return NewFaultPlan(faults...)
+}
+
+// Reset rewinds every execution counter so the plan can drive another run.
+func (p *FaultPlan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, of := range p.byOp {
+		of.count.Store(0)
+	}
+}
+
+// Len reports the number of armed faults.
+func (p *FaultPlan) Len() int {
+	n := 0
+	for _, of := range p.byOp {
+		n += len(of.byExec)
+	}
+	return n
+}
+
+// next counts one execution of op and returns the fault armed for that
+// index, or nil. Safe for concurrent use: the maps are immutable after
+// construction and the counter is atomic.
+func (p *FaultPlan) next(op string) *Fault {
+	of := p.byOp[op]
+	if of == nil {
+		return nil
+	}
+	return of.byExec[of.count.Add(1)]
+}

@@ -45,3 +45,17 @@ func (q *serialQueue) pop() (t task, ok bool) {
 	}
 	return task{}, false
 }
+
+// drain empties the queue, returning the abandoned tasks so the error-path
+// teardown can sweep their activations.
+func (q *serialQueue) drain() []*task {
+	var out []*task
+	for {
+		t, ok := q.pop()
+		if !ok {
+			return out
+		}
+		tc := t
+		out = append(out, &tc)
+	}
+}

@@ -45,6 +45,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	}
 
 	root := e.acquire(-1, e.prog.Main)
+	e.rootAct = root
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	// The boot worker runs on the caller's goroutine before the pool exists;
 	// proc -1 routes its trace events to the external (seed) track.
@@ -56,10 +57,37 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		// nothing is runnable at all. The second case is the same
 		// quiescence-without-result failure the worker loop detects.
 		if !e.stopped.Load() {
-			e.fail(errDeadlock())
+			e.failAt(root, errDeadlock(activationPath(root)))
 		}
 		e.stats.RealNanos = int64(time.Since(start))
+		if e.runErr != nil {
+			e.cleanupAfterError(s.drain())
+		}
 		return e.takeResult()
+	}
+
+	// A cancellation watcher lets a run with slow or parked workers drain
+	// promptly: it records the failure and closes the scheduler, waking
+	// every parked worker, instead of waiting for the next poll inside
+	// execNode. It must be stopped before runErr is read or the queues are
+	// swept, so the pool shutdown path joins it explicitly.
+	stopWatcher := func() {}
+	if e.ctxDone != nil {
+		cancelWatch := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-e.ctxDone:
+				e.fail(&RunError{Kind: FailCanceled, Err: e.runCtx.Err()})
+				s.close()
+			case <-cancelWatch:
+			}
+		}()
+		stopWatcher = func() {
+			close(cancelWatch)
+			<-watcherDone
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -103,7 +131,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 						Act: actSeq, Node: nodeID})
 				}
 				if err != nil {
-					e.fail(err)
+					e.failAt(t.act, err)
 					s.close()
 					return
 				}
@@ -118,7 +146,9 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 				}
 				if atomic.AddInt64(&outstanding, -1) == 0 {
 					if !e.stopped.Load() {
-						e.fail(errDeadlock())
+						// The root is still live (it never produced a
+						// result), so its path names the stuck entry point.
+						e.failAt(e.rootAct, errDeadlock(activationPath(e.rootAct)))
 					}
 					s.close()
 					return
@@ -127,7 +157,11 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		}(proc)
 	}
 	wg.Wait()
+	stopWatcher()
 	e.stats.RealNanos = int64(time.Since(start))
+	if e.runErr != nil {
+		e.cleanupAfterError(s.drain())
+	}
 	return e.takeResult()
 }
 
@@ -148,6 +182,7 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 		e.tracer.now = func() int64 { return int64(time.Since(start)) }
 	}
 	root := e.acquire(0, e.prog.Main)
+	e.rootAct = root
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	e.initActivation(w, root, args)
 
@@ -171,7 +206,7 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 				Act: actSeq, Node: nodeID})
 		}
 		if err != nil {
-			e.fail(err)
+			e.failAt(t.act, err)
 			break
 		}
 		if e.timing != nil && t.node.Kind == graph.OpNode {
@@ -185,16 +220,13 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 		}
 	}
 	if !e.stopped.Load() {
-		e.fail(errDeadlock())
+		e.failAt(root, errDeadlock(activationPath(root)))
 	}
 	e.stats.RealNanos = int64(time.Since(start))
+	if e.runErr != nil {
+		e.cleanupAfterError(q.drain())
+	}
 	return e.takeResult()
-}
-
-// errDeadlock is the diagnostic both quiescence paths (seed-time and
-// worker-loop) report when scheduled work ran out without a result.
-func errDeadlock() error {
-	return fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)")
 }
 
 // takeResult extracts the final value or error after a run ends.

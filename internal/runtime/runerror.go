@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file defines the structured failure surface of the runtime. The §8
+// data-contention protocol makes execution deterministic, which in turn
+// makes failures tractable: an operator that dies can be re-run from its
+// inputs (see the retry logic in exec.go), and a run that cannot continue
+// reports *where* in the tree of activations it stopped — the parallel
+// analog of a stack trace — instead of a flat string.
+
+// FailKind classifies why a run failed.
+type FailKind int
+
+// Failure kinds.
+const (
+	// FailError: an operator returned an error.
+	FailError FailKind = iota
+	// FailPanic: embedded Go code panicked; RunError.Stack holds the
+	// captured goroutine stack.
+	FailPanic
+	// FailTimeout: an operator execution exceeded its Config.OpTimeout or
+	// Operator.Timeout bound.
+	FailTimeout
+	// FailCanceled: the RunContext context was canceled or its deadline
+	// passed.
+	FailCanceled
+	// FailDeadlock: quiescence without a result — the coordination graph
+	// stopped with no runnable operators.
+	FailDeadlock
+	// FailBudget: the Config.MaxOps execution budget was exceeded.
+	FailBudget
+)
+
+// String names the failure kind.
+func (k FailKind) String() string {
+	switch k {
+	case FailError:
+		return "error"
+	case FailPanic:
+		return "panic"
+	case FailTimeout:
+		return "timeout"
+	case FailCanceled:
+		return "canceled"
+	case FailDeadlock:
+		return "deadlock"
+	case FailBudget:
+		return "budget"
+	default:
+		return fmt.Sprintf("failkind(%d)", int(k))
+	}
+}
+
+// RunError is the structured error a failed run returns. Every executor
+// failure path produces one; unwrap it with errors.As to inspect the
+// failure, or errors.Is against context.Canceled / context.DeadlineExceeded
+// for cancellation.
+type RunError struct {
+	// Kind classifies the failure.
+	Kind FailKind
+	// Op names the failed node (operator or plumbing label); empty for
+	// failures not tied to one node (cancellation, deadlock).
+	Op string
+	// Template names the coordination-graph template containing the node.
+	Template string
+	// Pos is the node's source position, when known.
+	Pos string
+	// Path is the activation path from the program's main function down to
+	// the failing activation — the tree-of-activations analog of a stack
+	// trace. Tail-call-delegated frames are elided, exactly as tail calls
+	// are in a sequential stack.
+	Path []string
+	// Attempts is the number of execution attempts made (1 = no retry).
+	Attempts int
+	// Stack is the captured Go stack for FailPanic failures.
+	Stack []byte
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the position, node, cause, attempt count, and activation
+// path on one line. The panic stack is carried in Stack, not inlined.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	if e.Pos != "" {
+		b.WriteString(e.Pos)
+		b.WriteString(": ")
+	}
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	if e.Err != nil {
+		b.WriteString(e.Err.Error())
+	} else {
+		b.WriteString("run failed")
+	}
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " (after %d attempts)", e.Attempts)
+	}
+	if len(e.Path) > 0 {
+		fmt.Fprintf(&b, " [in %s]", strings.Join(e.Path, " -> "))
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// panicError wraps a recovered operator panic with the goroutine stack
+// captured at the recovery site, so embedded-operator crashes are
+// debuggable instead of collapsing to "%v".
+type panicError struct {
+	val   interface{}
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("operator panicked: %v", p.val) }
+
+// opTimeoutError marks an operator execution cut off by a deadline.
+type opTimeoutError struct {
+	op    string
+	limit time.Duration
+}
+
+func (t *opTimeoutError) Error() string {
+	return fmt.Sprintf("operator %s timed out after %v", t.op, t.limit)
+}
+
+// errDeadlock is the single quiescence-without-result diagnostic shared by
+// every detection site: the real executor's seed-time and worker-loop
+// checks and the simulated executor's virtual-clock quiescence. path, when
+// known, names the blocked activation chain.
+func errDeadlock(path []string) *RunError {
+	return &RunError{
+		Kind: FailDeadlock,
+		Path: path,
+		Err:  errors.New("delirium: coordination graph deadlocked (no result and no runnable operators)"),
+	}
+}
+
+// errBudget reports a Config.MaxOps overrun as a structured error.
+func errBudget(max int64, path []string) *RunError {
+	return &RunError{
+		Kind: FailBudget,
+		Path: path,
+		Err:  fmt.Errorf("delirium: operation budget of %d executions exceeded", max),
+	}
+}
+
+// retryable reports whether a failed attempt may be re-executed: operator
+// errors, panics, injected faults, and timeouts retry; cancellation never
+// does — the caller asked the run to stop.
+func retryable(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// activationPath walks the continuation chain from a up to the root and
+// returns the template names outermost-first. The chain only traverses
+// live activations (a parent cannot retire before its expansion node
+// receives the child's result), so the walk is safe on failure paths; the
+// seen set guards against a recycled frame closing a cycle.
+func activationPath(a *activation) []string {
+	if a == nil {
+		return nil
+	}
+	seen := make(map[*activation]bool)
+	var rev []string
+	for cur := a; cur != nil && !seen[cur]; cur = cur.cont.act {
+		seen[cur] = true
+		rev = append(rev, cur.tmpl.Name)
+	}
+	path := make([]string, len(rev))
+	for i, name := range rev {
+		path[len(rev)-1-i] = name
+	}
+	return path
+}

@@ -109,6 +109,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 	}
 
 	root := e.acquire(0, e.prog.Main)
+	e.rootAct = root
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	e.initActivation(w, root, args)
 	flush(0)
@@ -116,7 +117,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 	var makespan int64
 	for {
 		if e.stopped.Load() && e.runErr != nil {
-			return nil, e.runErr
+			break
 		}
 		// Earliest moment any processor is free.
 		tMin := procFree[0]
@@ -154,7 +155,8 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("delirium: internal: simulated scheduler stalled at t=%d", t)
+			e.fail(fmt.Errorf("delirium: internal: simulated scheduler stalled at t=%d", t))
+			break
 		}
 
 		proc := e.placeSim(item, procFree, lastProc, t)
@@ -173,7 +175,8 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 				Act: actSeq, Node: nodeID, Name: traceLabel(item.node), Tmpl: item.act.tmpl.Name})
 		}
 		if err := e.execNode(w, item.act, item.node); err != nil {
-			return nil, err
+			e.failAt(item.act, err)
+			break
 		}
 		dur := prof.DispatchTicks +
 			int64(float64(w.charge)*prof.TickPerUnit) +
@@ -211,7 +214,21 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		e.stats.BusyTicks += b
 	}
 	if !e.stopped.Load() {
-		return nil, fmt.Errorf("delirium: coordination graph deadlocked (no result and no runnable operators)")
+		e.failAt(root, errDeadlock(activationPath(root)))
+	}
+	if e.runErr != nil {
+		// Abandoned work lives in the ready heaps and the not-yet-flushed
+		// buffer; both seed the teardown sweep.
+		var pending []*task
+		for pri := range heaps {
+			for i := range heaps[pri] {
+				pending = append(pending, &task{act: heaps[pri][i].act, node: heaps[pri][i].node})
+			}
+		}
+		for i := range buffered {
+			pending = append(pending, &task{act: buffered[i].act, node: buffered[i].node})
+		}
+		e.cleanupAfterError(pending)
 	}
 	return e.takeResult()
 }

@@ -51,6 +51,16 @@ type Stats struct {
 	// Blocks aggregates reference-count traffic (copies = the price of the
 	// determinism guarantee).
 	Blocks value.BlockStats
+	// Fault-tolerance counters. Retries counts re-executed operator
+	// attempts; SnapshotCopies counts blocks deep-copied to keep pristine
+	// inputs for a possible retry (kept apart from Blocks.Copies, which
+	// prices the §8 contention protocol itself); OpTimeouts counts attempts
+	// cut off by Config.OpTimeout / Operator.Timeout; FaultsInjected counts
+	// faults fired from the Config.Faults plan.
+	Retries        int64
+	SnapshotCopies int64
+	OpTimeouts     int64
+	FaultsInjected int64
 
 	// Simulated-mode results. MakespanTicks is the virtual finish time;
 	// BusyTicks the summed per-processor busy time; DispatchTicks the

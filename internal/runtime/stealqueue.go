@@ -406,6 +406,35 @@ func (s *stealScheduler) park(wid int) {
 	}
 }
 
+// drain empties every deque and injector, returning the abandoned tasks so
+// the error-path teardown can sweep their activations. Callers must
+// guarantee the pool has stopped (post wg.Wait): the steal/pop primitives
+// are reused, but the scan assumes no concurrent owner or thief.
+func (s *stealScheduler) drain() []*task {
+	var out []*task
+	for w := range s.local {
+		for pri := range s.local[w].d {
+			for {
+				t, _ := s.local[w].d[pri].steal()
+				if t == nil {
+					break
+				}
+				out = append(out, t)
+			}
+		}
+	}
+	for pri := range s.inject {
+		for {
+			t := s.inject[pri].pop()
+			if t == nil {
+				break
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // close marks the run over and wakes every parked worker. Called at
 // quiescence and on error abort; queued tasks are abandoned by design.
 func (s *stealScheduler) close() {

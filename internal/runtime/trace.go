@@ -51,6 +51,12 @@ const (
 	// TraceBlockCopy records a copy forced by the sole-reference rule; Arg is
 	// the number of words copied.
 	TraceBlockCopy
+	// TraceRetry records a failed operator attempt about to be re-executed;
+	// Arg is the attempt number that failed (1-based).
+	TraceRetry
+	// TraceFault records an injected fault firing; Arg is the operator's
+	// execution index the fault was armed for.
+	TraceFault
 )
 
 // String names the event kind.
@@ -78,6 +84,10 @@ func (t TraceEventType) String() string {
 		return "tail-call"
 	case TraceBlockCopy:
 		return "block-copy"
+	case TraceRetry:
+		return "retry"
+	case TraceFault:
+		return "fault"
 	default:
 		return "unknown"
 	}

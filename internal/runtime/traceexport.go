@@ -143,6 +143,12 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			case TraceBlockCopy:
 				ew.event(fmt.Sprintf(`"name":"copy %d words","cat":"mem","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d`,
 					ev.Arg, t.exportTS(ev.Ts), tid))
+			case TraceRetry:
+				ew.event(fmt.Sprintf(`"name":"retry %s (attempt %d failed)","cat":"fault","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d`,
+					escape(ev.Name), ev.Arg, t.exportTS(ev.Ts), tid))
+			case TraceFault:
+				ew.event(fmt.Sprintf(`"name":"fault %s exec %d","cat":"fault","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d`,
+					escape(ev.Name), ev.Arg, t.exportTS(ev.Ts), tid))
 			}
 		}
 	}
