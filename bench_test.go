@@ -311,13 +311,13 @@ func BenchmarkCircuitSim(b *testing.B) {
 // benchDispatch measures the real executor's per-operator scheduling cost
 // with a trivial-operator loop — the wall-clock analogue of the simulated
 // dispatch overhead.
-func benchDispatch(b *testing.B, cfg rt.Config) {
+func benchDispatch(b *testing.B, copts compile.Options, cfg rt.Config) {
 	b.Helper()
 	src := `
 main(n)
   iterate { i = 0, incr(i) } while lt(i, n), result i
 `
-	res, err := compile.Compile("spin.dlr", src, compile.Options{})
+	res, err := compile.Compile("spin.dlr", src, copts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -332,11 +332,20 @@ main(n)
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/iters, "ns/operator")
 }
 
-// BenchmarkDispatch is the trace-disabled baseline. The tracer must cost
-// exactly one nil pointer check per recording site here; compare against
-// BenchmarkDispatchTraced to see the price of turning tracing on.
+// BenchmarkDispatch is the trace-disabled, plan-disabled baseline. The
+// tracer and the memory plan must each cost exactly one nil pointer check
+// per site here; compare against BenchmarkDispatchTraced and
+// BenchmarkDispatchMemPlan for the price of turning either on. CI guards
+// this number: an unplanned-dispatch regression above 2% fails the run.
 func BenchmarkDispatch(b *testing.B) {
-	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1})
+	benchDispatch(b, compile.Options{}, rt.Config{Mode: rt.Real, Workers: 1})
+}
+
+// BenchmarkDispatchMemPlan is the same loop compiled with the memory plan —
+// the guard pair for the copy-elision machinery. The loop moves no blocks,
+// so this prices the planned settle path's bookkeeping alone.
+func BenchmarkDispatchMemPlan(b *testing.B) {
+	benchDispatch(b, compile.Options{MemPlan: true}, rt.Config{Mode: rt.Real, Workers: 1})
 }
 
 // BenchmarkDispatchTraced is the same loop with structured tracing enabled —
@@ -344,7 +353,7 @@ func BenchmarkDispatch(b *testing.B) {
 // number above is the one that matters; this one bounds what -trace costs a
 // profiling run.
 func BenchmarkDispatchTraced(b *testing.B) {
-	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1, Trace: true})
+	benchDispatch(b, compile.Options{}, rt.Config{Mode: rt.Real, Workers: 1, Trace: true})
 }
 
 // BenchmarkDispatchRetry is the same loop with deterministic retry armed —
@@ -352,7 +361,7 @@ func BenchmarkDispatchTraced(b *testing.B) {
 // destructive arguments, so this prices the retry bookkeeping alone (loop
 // setup, pristine tracking), not snapshot copies.
 func BenchmarkDispatchRetry(b *testing.B) {
-	benchDispatch(b, rt.Config{Mode: rt.Real, Workers: 1,
+	benchDispatch(b, compile.Options{}, rt.Config{Mode: rt.Real, Workers: 1,
 		Retry: rt.RetryPolicy{MaxAttempts: 3}})
 }
 

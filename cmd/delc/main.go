@@ -8,6 +8,7 @@
 //	delc -ast program.dlr            print the analyzed program
 //	delc -fmt program.dlr            pretty-print (format) the program
 //	delc -tokens program.dlr         print the token stream
+//	delc -memplan program.dlr        run the memory-plan pass, print the plan
 //	delc -O -1 -cworkers 3 ...       optimization level / parallel compiler
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		dumpAST  = flag.Bool("ast", false, "print the analyzed program")
 		format   = flag.Bool("fmt", false, "parse and pretty-print the program, then exit")
 		tokens   = flag.Bool("tokens", false, "print the token stream and exit")
+		memplan  = flag.Bool("memplan", false, "run the memory-plan pass and print the ownership report")
 		quiet    = flag.Bool("q", false, "suppress the pass-time report")
 	)
 	flag.Parse()
@@ -64,7 +66,7 @@ func main() {
 	reg, err := cli.Registry(*app)
 	fail(err)
 	res, err := compile.Compile(name, src, compile.Options{
-		Registry: reg, OptLevel: *optLevel, Workers: *cworkers})
+		Registry: reg, OptLevel: *optLevel, Workers: *cworkers, MemPlan: *memplan})
 	fail(err)
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, w)
@@ -75,6 +77,8 @@ func main() {
 		fmt.Print(res.Program.Dot())
 	case *dumpAST:
 		fmt.Print(ast.PrintProgram(res.Info.Prog))
+	case *memplan:
+		fmt.Print(res.MemPlan.Report())
 	}
 
 	if !*quiet {

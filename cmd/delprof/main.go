@@ -41,6 +41,7 @@ func main() {
 		gantt    = flag.Int("gantt", 0, "render a per-processor timeline this many cells wide")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file here")
 		critpath = flag.Bool("critpath", false, "print critical-path analysis and imbalance verdict")
+		memplan  = flag.Bool("memplan", false, "compile with the memory plan and report elision/pool counters")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -56,7 +57,7 @@ func main() {
 	mach, err := cli.Machine(*machName)
 	fail(err)
 
-	res, err := compile.Compile(name, src, compile.Options{Registry: reg})
+	res, err := compile.Compile(name, src, compile.Options{Registry: reg, MemPlan: *memplan})
 	fail(err)
 
 	mode := runtime.Real
@@ -127,6 +128,11 @@ func main() {
 		} else {
 			fmt.Println("critical path: no completed node executions recorded")
 		}
+	}
+	if *memplan {
+		st := eng.Stats()
+		fmt.Printf("\nmemory plan: %d retains + %d releases elided, %d pooled allocations, %d in-place updates proven (copies: %d)\n",
+			st.ElidedRetains, st.ElidedReleases, st.PooledAllocs, st.CopiesAvoided, st.Blocks.Copies)
 	}
 }
 

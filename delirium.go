@@ -36,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/operator"
+	"repro/internal/opt"
 	"repro/internal/prelude"
 	"repro/internal/runtime"
 	"repro/internal/value"
@@ -204,6 +205,13 @@ type CompileOptions struct {
 	Workers int
 	// InlineBudget caps inline-expansion candidate size (0 = default).
 	InlineBudget int
+	// MemPlan runs the memory-plan pass: compile-time ownership analysis
+	// that elides refcount traffic, guarantees in-place destructive updates
+	// where proven, and recycles block payloads through per-worker free
+	// lists. Output is bit-identical with or without it; see
+	// Stats.ElidedRetains/ElidedReleases/PooledAllocs/CopiesAvoided for the
+	// effect.
+	MemPlan bool
 }
 
 // PassTime reports one compiler pass's wall time.
@@ -222,6 +230,7 @@ func Compile(file, src string, opts CompileOptions) (*Program, error) {
 		OptLevel:     opts.OptLevel,
 		Workers:      opts.Workers,
 		InlineBudget: opts.InlineBudget,
+		MemPlan:      opts.MemPlan,
 	})
 	if err != nil {
 		return nil, err
@@ -231,6 +240,13 @@ func Compile(file, src string, opts CompileOptions) (*Program, error) {
 
 // Passes returns per-pass compile times in pipeline order.
 func (p *Program) Passes() []PassTime { return p.res.Passes }
+
+// MemPlan returns the memory-plan report, nil unless the program was
+// compiled with CompileOptions.MemPlan.
+func (p *Program) MemPlan() *MemPlan { return p.res.MemPlan }
+
+// MemPlan is the memory-plan pass report (see CompileOptions.MemPlan).
+type MemPlan = opt.MemPlan
 
 // NodeCount returns the total coordination-graph node count.
 func (p *Program) NodeCount() int { return p.res.Program.NodeCount() }

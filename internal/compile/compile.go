@@ -44,6 +44,12 @@ type Options struct {
 	InlineBudget int
 	// Workers > 1 selects the parallel compiler with that many workers.
 	Workers int
+	// MemPlan runs the memory-plan pass (opt.PlanMemory) over the linked
+	// graph: static ownership facts that let the runtime elide refcount
+	// traffic, guarantee in-place destructive updates, and recycle block
+	// payloads. Off by default; planned and unplanned programs produce
+	// bit-identical results.
+	MemPlan bool
 }
 
 func (o Options) registry() *operator.Registry {
@@ -88,6 +94,8 @@ type Result struct {
 	Passes []PassTime
 	// Warnings carries non-fatal diagnostics (e.g. unused parameters).
 	Warnings []string
+	// MemPlan is the memory-plan report, nil unless Options.MemPlan was set.
+	MemPlan *opt.MemPlan
 }
 
 // PassNanos returns the duration of the named pass (0 if absent).
@@ -177,6 +185,11 @@ func compileSequential(file, src string, opts Options) (*Result, error) {
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
+	}
+	if opts.MemPlan {
+		timePass(res, "Memory Plan", func() {
+			res.MemPlan = opt.PlanMemory(g)
+		})
 	}
 	res.Program = g
 	res.Warnings = collectWarnings(&diags)
@@ -355,6 +368,13 @@ func compileParallel(file, src string, opts Options) (*Result, error) {
 	})
 	if err := diags.Err(); err != nil {
 		return nil, err
+	}
+	if opts.MemPlan {
+		// The plan is a whole-program fixpoint over the linked graph, so it
+		// stays sequential even in the parallel driver.
+		timePass(res, "Memory Plan", func() {
+			res.MemPlan = opt.PlanMemory(g)
+		})
 	}
 	res.Program = g
 	res.Warnings = collectWarnings(&diags)

@@ -128,6 +128,25 @@ type Node struct {
 	CoveredIdx []int
 	// Pos points back at the source expression for node timing listings.
 	Pos source.Pos
+
+	// The Mem* fields are stamped by the optional memory-plan pass
+	// (internal/opt.PlanMemory) and are all false/nil in unplanned programs.
+
+	// MemOwned marks a node whose output the plan proves exclusively owned:
+	// every block reachable from it has refcount 1 when it leaves the node.
+	// The runtime enforces the claim at OpNodes (copying any shared result
+	// block), which is what lets consumers trust it without checking.
+	MemOwned bool
+	// MemOwnedArgs marks, per input port, values proven exclusively owned on
+	// arrival: the producer's output is owned and this is its only consumer.
+	// A destructive operator may take such an argument in place without the
+	// Writable walk, and a port whose value dies here may skip the atomic
+	// release and recycle the payload.
+	MemOwnedArgs []bool
+	// MemTransferEnv marks a CallClosureNode that transfers the closure's
+	// environment references directly to the callee activation, eliding the
+	// per-value retain (for the callee) + release (of the closure) pair.
+	MemTransferEnv bool
 }
 
 // Template is the compiled subgraph of one function (§7). The run-time
@@ -302,6 +321,10 @@ type Program struct {
 	// Registry resolves operators at execution time (already resolved into
 	// OpNodes; kept for tooling).
 	Registry *operator.Registry
+	// MemPlanned records that the memory-plan pass ran over this program;
+	// the executors then activate the planned settle paths and per-worker
+	// block free lists.
+	MemPlanned bool
 }
 
 // MemoryWords totals template memory over the program.

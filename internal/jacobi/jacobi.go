@@ -29,6 +29,9 @@ type Config struct {
 	// MaxSweeps bounds the iteration (safety against a tolerance that the
 	// grid never reaches). Zero selects 10000.
 	MaxSweeps int
+	// MemPlan runs the memory-plan pass at compile time, activating copy
+	// elision and block recycling in the executors.
+	MemPlan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -147,7 +150,7 @@ func Operators(cfg Config) *operator.Registry {
 	n, tol := cfg.N, cfg.Tol
 	reg := operator.NewRegistry(operator.Builtins())
 	stBlock := func(s *State, ctx operator.Context) value.Value {
-		return value.NewBlockStats(&value.Opaque{Payload: s, Words: 2 * n * n}, ctx.BlockStats())
+		return value.NewBlockStats(ctx.Pool().Opaque(s, 2*n*n), ctx.BlockStats())
 	}
 	pc := func(v value.Value, what string) (*piece, error) {
 		blk, ok := v.(*value.Block)
@@ -166,14 +169,14 @@ func Operators(cfg Config) *operator.Registry {
 	}
 
 	reg.MustRegister(&operator.Operator{
-		Name: "jb_setup", Arity: 0,
+		Name: "jb_setup", Arity: 0, Fresh: true,
 		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
 			ctx.Charge(int64(n * n))
 			return stBlock(NewState(n, tol), ctx), nil
 		},
 	})
 	reg.MustRegister(&operator.Operator{
-		Name: "jb_split", Arity: 1, Destructive: []bool{true},
+		Name: "jb_split", Arity: 1, Destructive: []bool{true}, Fresh: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			blk, ok := args[0].(*value.Block)
 			if !ok {
@@ -190,7 +193,7 @@ func Operators(cfg Config) *operator.Registry {
 				if i == 0 {
 					p.st = s
 				}
-				out[i] = value.NewBlockStats(&value.Opaque{Payload: p, Words: n}, ctx.BlockStats())
+				out[i] = value.NewBlockStats(ctx.Pool().Opaque(p, n), ctx.BlockStats())
 			}
 			return out, nil
 		},
@@ -208,7 +211,7 @@ func Operators(cfg Config) *operator.Registry {
 		},
 	})
 	reg.MustRegister(&operator.Operator{
-		Name: "jb_join", Arity: 4, Destructive: []bool{true, true, true, true},
+		Name: "jb_join", Arity: 4, Destructive: []bool{true, true, true, true}, Fresh: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			var s *State
 			var residuals [4]float64
@@ -259,7 +262,7 @@ func Operators(cfg Config) *operator.Registry {
 // CompileProgram compiles the solver's coordination program for cfg.
 func CompileProgram(cfg Config) (*graph.Program, error) {
 	cfg = cfg.withDefaults()
-	res, err := compile.Compile("jacobi.dlr", Source(cfg), compile.Options{Registry: Operators(cfg)})
+	res, err := compile.Compile("jacobi.dlr", Source(cfg), compile.Options{Registry: Operators(cfg), MemPlan: cfg.MemPlan})
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,11 @@ type Context interface {
 	BlockStats() *value.BlockStats
 	// Processor returns the executing processor's id (0-based).
 	Processor() int
+	// Pool returns the executing worker's block free list, or nil when no
+	// memory plan is active. value.BlockPool's allocation helpers are safe
+	// on a nil receiver, so operators may call ctx.Pool().Floats(n)
+	// unconditionally.
+	Pool() *value.BlockPool
 }
 
 // Func is the Go entry point of an operator. args holds exactly Arity
@@ -59,6 +64,14 @@ type Operator struct {
 	// Pure operators have no side effects and may be folded at compile time
 	// when every argument is a constant.
 	Pure bool
+	// Fresh declares that every block in the operator's result is newly
+	// allocated by the operator itself (or passed through from an argument
+	// declared Destructive, which the runtime hands over exclusively) —
+	// never a shared alias of a non-destructive argument. The memory-plan
+	// pass uses the annotation to prove outputs exclusively owned even when
+	// an input is shared; the runtime verifies the claim after each planned
+	// execution, so a wrong annotation costs a copy, not determinism.
+	Fresh bool
 	// Retryable declares that a failed execution may be re-run from its
 	// inputs. The §8 contention protocol guarantees the inputs themselves:
 	// the runtime snapshots destructively-declared arguments before a
@@ -192,6 +205,7 @@ type nopContext struct{}
 func (nopContext) Charge(int64)                  {}
 func (nopContext) BlockStats() *value.BlockStats { return nil }
 func (nopContext) Processor() int                { return 0 }
+func (nopContext) Pool() *value.BlockPool        { return nil }
 
 // NopContext is a Context that discards charges; the optimizer uses it to
 // fold pure operators over constant arguments.

@@ -46,6 +46,9 @@ type Config struct {
 	TargetWork int
 	// Seed makes target initialization deterministic.
 	Seed int64
+	// MemPlan runs the memory-plan pass at compile time, activating copy
+	// elision and block recycling in the executors.
+	MemPlan bool
 }
 
 // DefaultConfig is a medium scene suitable for experiments.

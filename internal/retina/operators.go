@@ -38,13 +38,14 @@ type updatePiece struct {
 	scene  *Scene // piece 0 only
 }
 
-// sceneBlock wraps a scene in a fresh exclusive block.
-func sceneBlock(s *Scene, st *value.BlockStats) *value.Block {
-	return value.NewBlockStats(&value.Opaque{Payload: s, Words: s.Words()}, st)
+// sceneBlock wraps a scene in a fresh exclusive block, recycling an Opaque
+// shell through the worker's free list when a memory plan is active.
+func sceneBlock(s *Scene, ctx operator.Context) *value.Block {
+	return value.NewBlockStats(ctx.Pool().Opaque(s, s.Words()), ctx.BlockStats())
 }
 
-func pieceBlock(payload interface{}, words int, st *value.BlockStats) *value.Block {
-	return value.NewBlockStats(&value.Opaque{Payload: payload, Words: words}, st)
+func pieceBlock(payload interface{}, words int, ctx operator.Context) *value.Block {
+	return value.NewBlockStats(ctx.Pool().Opaque(payload, words), ctx.BlockStats())
 }
 
 // payload extracts an Opaque payload from a block argument.
@@ -93,16 +94,16 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	r := operator.NewRegistry(operator.Builtins())
 
 	r.MustRegister(&operator.Operator{
-		Name: "set_up", Arity: 0, Retryable: true,
+		Name: "set_up", Arity: 0, Retryable: true, Fresh: true,
 		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
 			s := NewScene(cfg)
 			ctx.Charge(int64(cfg.W * cfg.H))
-			return sceneBlock(s, ctx.BlockStats()), nil
+			return sceneBlock(s, ctx), nil
 		},
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "target_split", Arity: 1, Destructive: []bool{true}, Retryable: true,
+		Name: "target_split", Arity: 1, Destructive: []bool{true}, Retryable: true, Fresh: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "target_split")
 			if err != nil {
@@ -119,7 +120,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 				if i == 0 {
 					tp.scene = s
 				}
-				out[i] = pieceBlock(tp, len(tp.targets)*5, ctx.BlockStats())
+				out[i] = pieceBlock(tp, len(tp.targets)*5, ctx)
 			}
 			return out, nil
 		},
@@ -143,7 +144,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "pre_update", Arity: Quarters, Retryable: true,
+		Name: "pre_update", Arity: Quarters, Retryable: true, Fresh: true,
 		Destructive: []bool{true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			var s *Scene
@@ -178,12 +179,12 @@ func Operators(cfg Config) (*operator.Registry, error) {
 			// charge is calibrated so the four-processor point lands near
 			// the paper's 3.3.
 			ctx.Charge(int64(2 * cfg.W * cfg.H * cfg.K))
-			return sceneBlock(s, ctx.BlockStats()), nil
+			return sceneBlock(s, ctx), nil
 		},
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "convol_split", Arity: 1, Destructive: []bool{true}, Retryable: true,
+		Name: "convol_split", Arity: 1, Destructive: []bool{true}, Retryable: true, Fresh: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			p, err := payload(args[0], "convol_split")
 			if err != nil {
@@ -206,7 +207,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 				if i == 0 {
 					cp.scene = s
 				}
-				out[i] = pieceBlock(cp, (r1-r0)*cfg.W, ctx.BlockStats())
+				out[i] = pieceBlock(cp, (r1-r0)*cfg.W, ctx)
 			}
 			return out, nil
 		},
@@ -234,7 +235,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "post_up", Arity: 1 + Quarters, Retryable: true,
+		Name: "post_up", Arity: 1 + Quarters, Retryable: true, Fresh: true,
 		Destructive: []bool{false, true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			s, slab, err := mergeConvolPieces(args)
@@ -257,12 +258,12 @@ func Operators(cfg Config) (*operator.Registry, error) {
 			if s.CurSlab == cfg.Slabs {
 				s.Time++
 			}
-			return sceneBlock(s, ctx.BlockStats()), nil
+			return sceneBlock(s, ctx), nil
 		},
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "update_split", Arity: Quarters, Retryable: true,
+		Name: "update_split", Arity: Quarters, Retryable: true, Fresh: true,
 		Destructive: []bool{true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			s, slab, err := mergeConvolPieces(args)
@@ -278,7 +279,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 				if i == 0 {
 					up.scene = s
 				}
-				out[i] = pieceBlock(up, (r1-r0)*cfg.W, ctx.BlockStats())
+				out[i] = pieceBlock(up, (r1-r0)*cfg.W, ctx)
 			}
 			return out, nil
 		},
@@ -308,7 +309,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "done_up", Arity: 1 + Quarters, Retryable: true,
+		Name: "done_up", Arity: 1 + Quarters, Retryable: true, Fresh: true,
 		Destructive: []bool{false, true, true, true, true},
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			var s *Scene
@@ -338,7 +339,7 @@ func Operators(cfg Config) (*operator.Registry, error) {
 				s.Time++
 			}
 			ctx.Charge(int64(cfg.W))
-			return sceneBlock(s, ctx.BlockStats()), nil
+			return sceneBlock(s, ctx), nil
 		},
 	})
 

@@ -193,16 +193,22 @@ type Engine struct {
 	// activation reuse — and with it the recorded trace — nondeterministic.
 	// A plain per-template free list keeps the determinism contract exact.
 	simPools map[*graph.Template][]*activation
-	started atomic.Bool
-	stopped atomic.Bool
-	errOnce sync.Once
-	runErr  error
+	started  atomic.Bool
+	stopped  atomic.Bool
+	errOnce  sync.Once
+	runErr   error
 	// failedAct is the activation executing when the first error was
 	// recorded (nil when the failure is not tied to one); rootAct is the
 	// main activation. Both seed the error-path teardown sweep and are read
 	// only after the run quiesces.
 	failedAct *activation
 	rootAct   *activation
+
+	// memStates, present only for memory-planned programs, holds one
+	// per-worker plan state per processor plus a final slot for the boot
+	// worker (proc -1). Allocated up front in New so workers index it
+	// without synchronization; merged into Stats by takeResult.
+	memStates []*memState
 
 	result atomic.Value // value.Value
 
@@ -221,6 +227,12 @@ func New(prog *graph.Program, cfg Config) *Engine {
 	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps}
 	if cfg.Mode == Simulated {
 		e.simPools = make(map[*graph.Template][]*activation)
+	}
+	if prog.MemPlanned {
+		e.memStates = make([]*memState, cfg.workers()+1)
+		for i := range e.memStates {
+			e.memStates[i] = &memState{}
+		}
 	}
 	if cfg.Timing {
 		e.timing = NewTimingLog()

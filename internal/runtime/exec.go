@@ -36,6 +36,12 @@ type worker struct {
 	// abandoned (timed-out) goroutine cannot race on shared statistics.
 	detached bool
 
+	// mem is this worker's memory-plan state (free list, elision counters),
+	// nil when the program was not planned — every planned code path is
+	// gated on this one field. Shadow workers keep it nil so abandoned
+	// goroutines can never touch a live free list.
+	mem *memState
+
 	// charge accumulates Context.Charge units of the node being executed.
 	charge int64
 	// localWords/remoteWords price the executed node's block traffic for
@@ -58,6 +64,16 @@ func (w *worker) BlockStats() *value.BlockStats { return &w.e.stats.Blocks }
 
 // Processor implements operator.Context.
 func (w *worker) Processor() int { return w.proc }
+
+// Pool implements operator.Context: the worker's block free list when a
+// memory plan is active, nil otherwise (value.BlockPool allocation helpers
+// are nil-safe, so operators call through unconditionally).
+func (w *worker) Pool() *value.BlockPool {
+	if w.mem == nil {
+		return nil
+	}
+	return &w.mem.pool
+}
 
 // traceLabel names a node for trace output: the operator or callee name, or
 // the node kind for unnamed plumbing nodes.
@@ -247,16 +263,28 @@ func (e *Engine) execOp(w *worker, a *activation, n *graph.Node, ins []value.Val
 					ins[i] = pristine[i]
 					pristine[i] = nil
 				}
-				if n.Op.MayModify(i) {
-					nv, copied := makeWritable(ins[i], &e.stats.Blocks)
-					ins[i] = nv
-					w.localWords += int64(copied)
-					if w.tr != nil && copied > 0 {
-						w.tr.record(w.proc, TraceEvent{Type: TraceBlockCopy, Ts: w.tr.now(),
-							Act: a.seq, Node: int32(n.ID), Arg: int64(copied), Name: n.Name})
-					}
+				if !n.Op.MayModify(i) {
+					continue
+				}
+				if w.mem != nil && i < len(n.MemOwnedArgs) && n.MemOwnedArgs[i] {
+					// The plan proves this value exclusively owned on arrival:
+					// Writable would take the in-place path on every block, so
+					// the walk (and its atomic loads) is skipped outright.
+					w.mem.copiesAvoided += value.CountBlocks(ins[i])
+					continue
+				}
+				nv, copied := makeWritable(ins[i], &e.stats.Blocks)
+				ins[i] = nv
+				w.localWords += int64(copied)
+				if w.tr != nil && copied > 0 {
+					w.tr.record(w.proc, TraceEvent{Type: TraceBlockCopy, Ts: w.tr.now(),
+						Act: a.seq, Node: int32(n.ID), Arg: int64(copied), Name: n.Name})
 				}
 			}
+		}
+		var memBefore int64
+		if w.mem != nil && w.tr != nil {
+			memBefore = w.mem.elidedReleases + w.mem.pool.Hits()
 		}
 		result, err := e.invokeOp(w, a, n, ins)
 		if err == nil {
@@ -266,7 +294,17 @@ func (e *Engine) execOp(w *worker, a *activation, n *graph.Node, ins []value.Val
 			if e.cfg.Mode == Simulated {
 				w.homeValue(result)
 			}
-			transferRefs(ins, result, &e.stats.Blocks)
+			if w.mem != nil {
+				result = e.settlePlanned(w, n, ins, result)
+				if w.tr != nil {
+					if delta := w.mem.elidedReleases + w.mem.pool.Hits() - memBefore; delta > 0 {
+						w.tr.record(w.proc, TraceEvent{Type: TraceMemElide, Ts: w.tr.now(),
+							Act: a.seq, Node: int32(n.ID), Name: n.Name, Arg: delta})
+					}
+				}
+			} else {
+				transferRefs(ins, result, &e.stats.Blocks)
+			}
 			// The attempt consumed its (copied) inputs; the pristine
 			// originals held back for a retry are now surplus.
 			for i := range pristine {
@@ -389,12 +427,19 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 			// The producer split ownership: this node owns exactly element
 			// Index; the designated sibling releases uncovered elements.
 			if n.CoveredIdx != nil {
+				ownedEls := w.mem != nil && len(n.MemOwnedArgs) > 0 && n.MemOwnedArgs[0]
 				for j, el := range tup {
 					if !intsContain(n.CoveredIdx, j) {
-						value.Release(el, &e.stats.Blocks)
+						if w.mem != nil {
+							w.releaseDying(el, ownedEls)
+						} else {
+							value.Release(el, &e.stats.Blocks)
+						}
 					}
 				}
 			}
+		} else if w.mem != nil {
+			e.settlePlanned(w, n, ins, result)
 		} else {
 			transferRefs(ins, result, &e.stats.Blocks)
 		}
@@ -431,11 +476,30 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		}
 		args := make([]value.Value, 0, len(ins)-1+len(cl.Env))
 		args = append(args, ins[1:]...)
-		for _, envV := range cl.Env {
-			value.Retain(envV, &e.stats.Blocks) // the child owns its copy
-			args = append(args, envV)
+		if n.MemTransferEnv && w.mem != nil {
+			// This node holds one reference-share of every env value (via the
+			// closure); retaining each for the child and then releasing the
+			// closure is a net-zero pair. Transfer the share to the child
+			// directly. Always sound — other consumers of the same closure
+			// hold their own shares.
+			var c int64
+			for _, envV := range cl.Env {
+				args = append(args, envV)
+				c += value.CountBlocks(envV)
+			}
+			w.mem.elidedRetains += c
+			w.mem.elidedReleases += c
+			if w.tr != nil && c > 0 {
+				w.tr.record(w.proc, TraceEvent{Type: TraceMemElide, Ts: w.tr.now(),
+					Act: a.seq, Node: int32(n.ID), Name: traceLabel(n), Arg: 2 * c})
+			}
+		} else {
+			for _, envV := range cl.Env {
+				value.Retain(envV, &e.stats.Blocks) // the child owns its copy
+				args = append(args, envV)
+			}
+			value.Release(cl, &e.stats.Blocks) // drops the closure's env refs
 		}
-		value.Release(cl, &e.stats.Blocks) // drops the closure's env refs
 		clearInputs(ins)
 		return e.expand(w, a, n, callee, args)
 
@@ -444,7 +508,11 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		if err != nil {
 			return e.failNode(a, n, ins, err)
 		}
-		value.Release(ins[0], &e.stats.Blocks)
+		if w.mem != nil {
+			w.releaseDying(ins[0], len(n.MemOwnedArgs) > 0 && n.MemOwnedArgs[0])
+		} else {
+			value.Release(ins[0], &e.stats.Blocks)
+		}
 		branch := n.Else
 		if truth {
 			branch = n.Then
@@ -542,7 +610,11 @@ func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value
 		}
 		switch {
 		case consumers == 0:
-			value.Release(v, &e.stats.Blocks)
+			if w.mem != nil {
+				w.releaseDying(v, n.MemOwned)
+			} else {
+				value.Release(v, &e.stats.Blocks)
+			}
 		default:
 			for i := 1; i < consumers; i++ {
 				value.Retain(v, &e.stats.Blocks)

@@ -49,7 +49,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	e.stats.noteLive(1, int64(e.prog.Main.ActivationWords()))
 	// The boot worker runs on the caller's goroutine before the pool exists;
 	// proc -1 routes its trace events to the external (seed) track.
-	boot := &worker{e: e, proc: -1, sched: bootSched, tr: e.tracer}
+	boot := &worker{e: e, proc: -1, sched: bootSched, tr: e.tracer, mem: e.memState(-1)}
 	e.initActivation(boot, root, args)
 
 	if atomic.LoadInt64(&outstanding) == 0 {
@@ -95,7 +95,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		wg.Add(1)
 		go func(proc int) {
 			defer wg.Done()
-			w := &worker{e: e, proc: proc, tr: e.tracer}
+			w := &worker{e: e, proc: proc, tr: e.tracer, mem: e.memState(proc)}
 			w.sched = func(a *activation, n *graph.Node) {
 				atomic.AddInt64(&outstanding, 1)
 				s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
@@ -172,7 +172,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 // simply the queue running dry.
 func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 	var q serialQueue
-	w := &worker{e: e, proc: 0, tr: e.tracer}
+	w := &worker{e: e, proc: 0, tr: e.tracer, mem: e.memState(0)}
 	w.sched = func(a *activation, n *graph.Node) {
 		q.push(task{act: a, node: n}, e.classify(a, n))
 	}
@@ -229,8 +229,13 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 	return e.takeResult()
 }
 
-// takeResult extracts the final value or error after a run ends.
+// takeResult extracts the final value or error after a run ends. The run
+// has quiesced by now, so this is also where per-worker memory-plan
+// counters merge into Stats.
 func (e *Engine) takeResult() (value.Value, error) {
+	if e.memStates != nil {
+		e.mergeMemStats()
+	}
 	if e.runErr != nil {
 		return nil, e.runErr
 	}

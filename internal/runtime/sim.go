@@ -67,7 +67,10 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		e.tracer.now = func() int64 { return clock }
 	}
 
-	w := &worker{e: e, proc: 0, tr: e.tracer}
+	// The simulated executor is single-threaded: one worker (re-stamped with
+	// the virtual processor per item) and therefore one plan state, keeping
+	// pool reuse — and with it the trace — deterministic.
+	w := &worker{e: e, proc: 0, tr: e.tracer, mem: e.memState(0)}
 	var buffered []simItem
 	type delivery struct {
 		act    *activation

@@ -61,6 +61,17 @@ type Stats struct {
 	SnapshotCopies int64
 	OpTimeouts     int64
 	FaultsInjected int64
+	// Memory-plan counters, all zero when the program was compiled without
+	// the plan. ElidedRetains/ElidedReleases count reference-count
+	// operations skipped under static ownership proof (closure environment
+	// transfers, single-consumer last uses); PooledAllocs counts operator
+	// allocations served from per-worker block free lists; CopiesAvoided
+	// counts blocks handed to destructive operators in place without the
+	// copy-on-write check because exclusivity was proven at compile time.
+	ElidedRetains  int64
+	ElidedReleases int64
+	PooledAllocs   int64
+	CopiesAvoided  int64
 
 	// Simulated-mode results. MakespanTicks is the virtual finish time;
 	// BusyTicks the summed per-processor busy time; DispatchTicks the
@@ -115,14 +126,21 @@ func (s *Stats) Utilization() float64 {
 	return float64(s.BusyTicks) / float64(s.MakespanTicks*int64(len(s.ProcBusyTicks)))
 }
 
-// String summarizes the counters.
+// String summarizes the counters. The memory-plan group is appended only
+// when a plan was active, keeping unplanned output stable.
 func (s *Stats) String() string {
-	return fmt.Sprintf("ops=%d operators=%d activations=%d(+%d reused) peak=%d tail=%d charged=%d copies=%d steals=%d parks=%d",
+	out := fmt.Sprintf("ops=%d operators=%d activations=%d(+%d reused) peak=%d tail=%d charged=%d copies=%d steals=%d parks=%d",
 		atomic.LoadInt64(&s.OpsExecuted), atomic.LoadInt64(&s.OperatorsRun),
 		atomic.LoadInt64(&s.ActivationsAllocated), atomic.LoadInt64(&s.ActivationsReused),
 		atomic.LoadInt64(&s.PeakLive), atomic.LoadInt64(&s.TailCalls),
 		atomic.LoadInt64(&s.ChargedUnits), atomic.LoadInt64(&s.Blocks.Copies),
 		atomic.LoadInt64(&s.Steals), atomic.LoadInt64(&s.Parks))
+	er, el := atomic.LoadInt64(&s.ElidedRetains), atomic.LoadInt64(&s.ElidedReleases)
+	pa, ca := atomic.LoadInt64(&s.PooledAllocs), atomic.LoadInt64(&s.CopiesAvoided)
+	if er != 0 || el != 0 || pa != 0 || ca != 0 {
+		out += fmt.Sprintf(" elided=%d+%d pooled=%d inplace=%d", er, el, pa, ca)
+	}
+	return out
 }
 
 // TimingEntry records one node execution for the node timing tool (§5.2).

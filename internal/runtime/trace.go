@@ -57,6 +57,9 @@ const (
 	// TraceFault records an injected fault firing; Arg is the operator's
 	// execution index the fault was armed for.
 	TraceFault
+	// TraceMemElide records memory-plan savings at one node execution; Arg
+	// is the number of refcount operations elided plus free-list hits.
+	TraceMemElide
 )
 
 // String names the event kind.
@@ -88,6 +91,8 @@ func (t TraceEventType) String() string {
 		return "retry"
 	case TraceFault:
 		return "fault"
+	case TraceMemElide:
+		return "mem-elide"
 	default:
 		return "unknown"
 	}

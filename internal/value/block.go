@@ -32,6 +32,14 @@ type Block struct {
 	refs     int64
 	affinity int32
 	data     BlockData
+	// stats is the accounting sink the block was allocated against. The
+	// zero-crossing (Freed) must be charged to the same sink as Allocated or
+	// the teardown invariant Allocated == Freed breaks whenever the *last*
+	// Release happens to run at a call site with a nil or different
+	// *BlockStats (error sweeps, detached shadow workers, test harnesses).
+	// Release therefore routes Freed through this field, falling back to the
+	// call-site sink only for blocks created via bare NewBlock.
+	stats *BlockStats
 }
 
 // BlockStats aggregates reference-counting activity for one program run.
@@ -61,28 +69,44 @@ func NewBlock(data BlockData) *Block {
 	return &Block{refs: 1, affinity: NoAffinity, data: data}
 }
 
-// NewBlockStats creates a block via stats accounting.
+// NewBlockStats creates a block via stats accounting. The sink is remembered
+// on the block so the matching Freed increment lands there no matter which
+// call site drops the last reference.
 func NewBlockStats(data BlockData, st *BlockStats) *Block {
 	if st != nil {
 		atomic.AddInt64(&st.Allocated, 1)
 	}
-	return NewBlock(data)
+	b := NewBlock(data)
+	b.stats = st
+	return b
 }
 
 // Kind returns KindBlock.
 func (*Block) Kind() Kind { return KindBlock }
 
-// String summarizes the block for timing listings and debugging.
+// String summarizes the block for timing listings and debugging. A block
+// whose payload was recycled into a free list has nil data; String must stay
+// safe on it because traces and panics may format dead blocks.
 func (b *Block) String() string {
-	return fmt.Sprintf("block(%T, %d words, %d refs)", b.data, b.data.Size(), atomic.LoadInt64(&b.refs))
+	data := b.data
+	if data == nil {
+		return fmt.Sprintf("block(recycled, %d refs)", atomic.LoadInt64(&b.refs))
+	}
+	return fmt.Sprintf("block(%T, %d words, %d refs)", data, data.Size(), atomic.LoadInt64(&b.refs))
 }
 
 // Data returns the payload for read-only access. Callers that intend to
 // mutate must go through Writable.
 func (b *Block) Data() BlockData { return b.data }
 
-// Size returns the payload size in words.
-func (b *Block) Size() int { return b.data.Size() }
+// Size returns the payload size in words (0 once the payload has been
+// recycled).
+func (b *Block) Size() int {
+	if b.data == nil {
+		return 0
+	}
+	return b.data.Size()
+}
 
 // Refs returns the current reference count (racy snapshot; exact only when
 // the caller holds the sole reference or the run is quiescent).
@@ -101,20 +125,65 @@ func (b *Block) Retain(st *BlockStats) {
 	}
 }
 
-// Release drops a reference. Go's garbage collector reclaims the storage;
-// the count still matters because it gates in-place mutation and feeds the
+// Release drops a reference and reports whether this call freed the block
+// (refcount reached zero). Go's garbage collector reclaims the storage; the
+// count still matters because it gates in-place mutation and feeds the
 // activation-reuse statistics.
-func (b *Block) Release(st *BlockStats) {
+//
+// The Releases counter is call-site activity and goes to st; the Freed
+// counter is a property of the block's lifetime and goes to the sink the
+// block was allocated against, so Allocated == Freed holds even when the
+// last reference is dropped at a nil-stats call site.
+func (b *Block) Release(st *BlockStats) bool {
 	n := atomic.AddInt64(&b.refs, -1)
 	if n < 0 {
 		panic(fmt.Sprintf("delirium: block over-released (refs=%d)", n))
 	}
 	if st != nil {
 		atomic.AddInt64(&st.Releases, 1)
-		if n == 0 {
+	}
+	if n == 0 {
+		if sink := b.stats; sink != nil {
+			atomic.AddInt64(&sink.Freed, 1)
+		} else if st != nil {
 			atomic.AddInt64(&st.Freed, 1)
 		}
+		return true
 	}
+	return false
+}
+
+// FreeOwned releases a block the caller believes it owns exclusively
+// (refcount 1), skipping the atomic decrement and the Releases counter, and
+// detaches the payload for recycling. If the block is in fact shared the
+// call degrades to a plain Release and returns (nil, false) — the memory
+// plan's elisions stay sound even against a wrong static claim. Freed
+// accounting is identical to Release's zero-crossing.
+func (b *Block) FreeOwned(st *BlockStats) (BlockData, bool) {
+	if atomic.LoadInt64(&b.refs) != 1 {
+		b.Release(st)
+		return nil, false
+	}
+	atomic.StoreInt64(&b.refs, 0)
+	data := b.data
+	b.data = nil
+	if sink := b.stats; sink != nil {
+		atomic.AddInt64(&sink.Freed, 1)
+	} else if st != nil {
+		atomic.AddInt64(&st.Freed, 1)
+	}
+	return data, true
+}
+
+// TakeData detaches the payload of a dead block (refcount 0) so it can be
+// recycled through a free list. It returns nil for live blocks.
+func (b *Block) TakeData() BlockData {
+	if atomic.LoadInt64(&b.refs) != 0 {
+		return nil
+	}
+	data := b.data
+	b.data = nil
+	return data
 }
 
 // Writable returns a block the caller may destructively modify, consuming
@@ -126,13 +195,22 @@ func (b *Block) Writable(st *BlockStats) (*Block, bool) {
 	if atomic.LoadInt64(&b.refs) == 1 {
 		return b, false
 	}
+	// The copy inherits the source's accounting sink, and Allocated must be
+	// bumped *before* the source reference is dropped: releasing first opens
+	// a window where a concurrent reader of the counters sees Freed ahead of
+	// Allocated, breaking the Allocated >= Freed invariant under fan-out.
+	sink := st
+	if sink == nil {
+		sink = b.stats
+	}
+	if sink != nil {
+		atomic.AddInt64(&sink.Copies, 1)
+		atomic.AddInt64(&sink.Allocated, 1)
+	}
 	nb := NewBlock(b.data.Copy())
 	nb.affinity = atomic.LoadInt32(&b.affinity)
+	nb.stats = sink
 	b.Release(st)
-	if st != nil {
-		atomic.AddInt64(&st.Copies, 1)
-		atomic.AddInt64(&st.Allocated, 1)
-	}
 	return nb, true
 }
 
@@ -193,6 +271,29 @@ func Blocks(v Value, dst []*Block) []*Block {
 		}
 	}
 	return dst
+}
+
+// CountBlocks returns the number of block references reachable from v
+// (through tuples and closure environments). The runtime uses it to count
+// elided refcount operations without materializing the block list.
+func CountBlocks(v Value) int64 {
+	switch x := v.(type) {
+	case *Block:
+		return 1
+	case Tuple:
+		var n int64
+		for _, e := range x {
+			n += CountBlocks(e)
+		}
+		return n
+	case *Closure:
+		var n int64
+		for _, e := range x.Env {
+			n += CountBlocks(e)
+		}
+		return n
+	}
+	return 0
 }
 
 // TotalSize returns the summed word size of every block reachable from v.

@@ -1,0 +1,150 @@
+package value
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The accounting invariant: Allocated == Freed after every block dies, no
+// matter which call site drops the last reference. Before the sink field,
+// a last Release through a nil (or different) *BlockStats lost the Freed
+// increment and the teardown assertions reported leaks that were not there.
+func TestReleaseNilStatsFreedAccounting(t *testing.T) {
+	var st BlockStats
+	b := NewBlockStats(FloatVec{1}, &st)
+	b.Retain(&st)
+	if b.Release(nil) {
+		t.Fatal("first release freed a twice-referenced block")
+	}
+	if !b.Release(nil) {
+		t.Fatal("last release did not report freeing")
+	}
+	if st.Freed != 1 {
+		t.Fatalf("Freed = %d through nil-stats call sites, want 1", st.Freed)
+	}
+	if st.Releases != 0 {
+		t.Fatalf("Releases = %d, want 0: call-site activity must not be charged to the sink", st.Releases)
+	}
+
+	// A different sink at the last release: Freed still lands on the
+	// allocating sink, Releases on the call site's.
+	var other BlockStats
+	c := NewBlockStats(FloatVec{1}, &st)
+	c.Release(&other)
+	if st.Freed != 2 || other.Freed != 0 {
+		t.Fatalf("Freed: sink=%d other=%d, want 2 and 0", st.Freed, other.Freed)
+	}
+	if other.Releases != 1 {
+		t.Fatalf("other.Releases = %d, want 1", other.Releases)
+	}
+
+	// Bare NewBlock has no sink; the call-site stats are the only fallback.
+	var fallback BlockStats
+	d := NewBlock(FloatVec{1})
+	d.Release(&fallback)
+	if fallback.Freed != 1 {
+		t.Fatalf("fallback Freed = %d, want 1", fallback.Freed)
+	}
+}
+
+// Writable must bump Allocated before it releases the source reference:
+// releasing first opens a window where a concurrent counter reader sees
+// Freed ahead of Allocated. Run with -race; the sampler also asserts the
+// ordering invariant directly.
+func TestWritableConcurrentFanOutAccounting(t *testing.T) {
+	const goroutines = 8
+	const rounds = 200
+	var st BlockStats
+	for round := 0; round < rounds; round++ {
+		b := NewBlockStats(FloatVec{1, 2, 3, 4}, &st)
+		for i := 1; i < goroutines; i++ {
+			b.Retain(&st)
+		}
+		var stop atomic.Bool
+		var sampler sync.WaitGroup
+		sampler.Add(1)
+		go func() {
+			defer sampler.Done()
+			for !stop.Load() {
+				// Load Freed first: if Freed <= Allocated ever fails, a
+				// Writable released its source before accounting the copy.
+				freed := atomic.LoadInt64(&st.Freed)
+				alloc := atomic.LoadInt64(&st.Allocated)
+				if freed > alloc {
+					t.Errorf("Freed %d > Allocated %d", freed, alloc)
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w, _ := b.Writable(&st)
+				if !w.Exclusive() {
+					t.Error("Writable returned a shared block")
+				}
+				w.Release(&st)
+			}()
+		}
+		wg.Wait()
+		stop.Store(true)
+		sampler.Wait()
+	}
+	if st.Allocated != st.Freed {
+		t.Fatalf("quiescent: Allocated %d != Freed %d", st.Allocated, st.Freed)
+	}
+}
+
+func TestStringSafeOnRecycledBlock(t *testing.T) {
+	var st BlockStats
+	b := NewBlockStats(FloatVec{1, 2}, &st)
+	data, ok := b.FreeOwned(&st)
+	if !ok || data == nil {
+		t.Fatal("FreeOwned on an exclusive block must detach the payload")
+	}
+	s := b.String()
+	if !strings.Contains(s, "recycled") {
+		t.Fatalf("String() on recycled block = %q", s)
+	}
+	if b.Size() != 0 {
+		t.Fatalf("Size() on recycled block = %d, want 0", b.Size())
+	}
+}
+
+func TestFreeOwnedSharedDegradesToRelease(t *testing.T) {
+	var st BlockStats
+	b := NewBlockStats(FloatVec{1}, &st)
+	b.Retain(&st)
+	data, ok := b.FreeOwned(&st)
+	if ok || data != nil {
+		t.Fatal("FreeOwned must refuse a shared block")
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("refs = %d after degraded FreeOwned, want 1", b.Refs())
+	}
+	if b.Data() == nil {
+		t.Fatal("degraded FreeOwned must not detach the payload")
+	}
+	b.Release(&st)
+	if st.Allocated != st.Freed {
+		t.Fatalf("Allocated %d != Freed %d", st.Allocated, st.Freed)
+	}
+}
+
+func TestTakeDataOnlyWhenDead(t *testing.T) {
+	b := NewBlock(FloatVec{1})
+	if d := b.TakeData(); d != nil {
+		t.Fatal("TakeData on a live block must return nil")
+	}
+	b.Release(nil)
+	if d := b.TakeData(); d == nil {
+		t.Fatal("TakeData on a dead block must detach the payload")
+	}
+	if d := b.TakeData(); d != nil {
+		t.Fatal("second TakeData must return nil")
+	}
+}
