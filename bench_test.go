@@ -365,6 +365,59 @@ func BenchmarkDispatchRetry(b *testing.B) {
 		Retry: rt.RetryPolicy{MaxAttempts: 3}})
 }
 
+// benchDispatchChain measures dispatch cost on a chain-shaped body: each
+// loop iteration runs a 32-operator incr chain, the shape operator fusion
+// targets. With fusion off, every link is a separate ready-queue dispatch;
+// with fusion on the whole chain (plus the loop-carried call) executes as
+// one supernode. The chain is deep enough that the loop's fixed costs
+// (cond, activation turnover) amortize away and the per-link dispatch
+// price dominates the metric.
+func benchDispatchChain(b *testing.B, copts compile.Options, cfg rt.Config) {
+	b.Helper()
+	const depth = 32
+	body := "i"
+	for i := 0; i < depth; i++ {
+		body = "incr(" + body + ")"
+	}
+	src := "main(n)\n  iterate { i = 0, " + body + " } while lt(i, n), result i\n"
+	res, err := compile.Compile("chain.dlr", src, copts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// i advances by depth per loop pass, so the run executes iters incr
+	// operators in total (iters/depth loop passes).
+	const iters = 320 * depth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := rt.New(res.Program, cfg)
+		if _, err := eng.Run(value.Int(iters)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/iters, "ns/operator")
+}
+
+// BenchmarkDispatchChain is the unfused chain baseline — the number
+// BenchmarkDispatchFused is measured against. CI guards the pair: fused
+// dispatch must stay at least 25% below this.
+func BenchmarkDispatchChain(b *testing.B) {
+	benchDispatchChain(b, compile.Options{}, rt.Config{Mode: rt.Real, Workers: 1})
+}
+
+// BenchmarkDispatchFused is the same chain compiled with operator fusion:
+// the eight incr links collapse into one supernode dispatched once per
+// iteration, eliminating seven ready-queue round trips and their counter
+// traffic.
+func BenchmarkDispatchFused(b *testing.B) {
+	benchDispatchChain(b, compile.Options{Fuse: true}, rt.Config{Mode: rt.Real, Workers: 1})
+}
+
+// BenchmarkDispatchFusedMemPlan stacks fusion on the memory plan — the
+// full optimization pipeline on the chain shape.
+func BenchmarkDispatchFusedMemPlan(b *testing.B) {
+	benchDispatchChain(b, compile.Options{Fuse: true, MemPlan: true}, rt.Config{Mode: rt.Real, Workers: 1})
+}
+
 func BenchmarkCompileWorkload(b *testing.B) {
 	src := compile.Generate(200, 7)
 	b.SetBytes(int64(len(src)))

@@ -9,6 +9,8 @@
 //	delc -fmt program.dlr            pretty-print (format) the program
 //	delc -tokens program.dlr         print the token stream
 //	delc -memplan program.dlr        run the memory-plan pass, print the plan
+//	delc -fuse program.dlr           run operator fusion, print the supernode plan
+//	delc -fuse -profile p.json ...   seed fusion priorities from delprof -profout
 //	delc -O -1 -cworkers 3 ...       optimization level / parallel compiler
 package main
 
@@ -35,6 +37,8 @@ func main() {
 		format   = flag.Bool("fmt", false, "parse and pretty-print the program, then exit")
 		tokens   = flag.Bool("tokens", false, "print the token stream and exit")
 		memplan  = flag.Bool("memplan", false, "run the memory-plan pass and print the ownership report")
+		fuse     = flag.Bool("fuse", false, "run the operator-fusion pass and print the supernode plan")
+		profile  = flag.String("profile", "", "JSON operator-weight profile seeding fusion priorities (delprof -profout)")
 		quiet    = flag.Bool("q", false, "suppress the pass-time report")
 	)
 	flag.Parse()
@@ -65,8 +69,11 @@ func main() {
 
 	reg, err := cli.Registry(*app)
 	fail(err)
+	prof, err := cli.LoadProfile(*profile)
+	fail(err)
 	res, err := compile.Compile(name, src, compile.Options{
-		Registry: reg, OptLevel: *optLevel, Workers: *cworkers, MemPlan: *memplan})
+		Registry: reg, OptLevel: *optLevel, Workers: *cworkers, MemPlan: *memplan,
+		Fuse: *fuse, FuseProfile: prof})
 	fail(err)
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, w)
@@ -79,6 +86,8 @@ func main() {
 		fmt.Print(ast.PrintProgram(res.Info.Prog))
 	case *memplan:
 		fmt.Print(res.MemPlan.Report())
+	case *fuse:
+		fmt.Print(res.FusePlan.Report())
 	}
 
 	if !*quiet {

@@ -9,6 +9,8 @@
 //	delprof -top 5 program.dlr                 summary only, five rows
 //	delprof -trace out.json program.dlr        Chrome/Perfetto trace export
 //	delprof -critpath program.dlr              critical-path analysis
+//	delprof -profout weights.json program.dlr  write mean operator costs as JSON
+//	delprof -fuse -profile weights.json ...    run fused, priorities from a profile
 //
 // -trace writes the structured execution trace in Chrome trace-event JSON
 // (load it at ui.perfetto.dev): one track per worker, a slice per node
@@ -42,6 +44,9 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file here")
 		critpath = flag.Bool("critpath", false, "print critical-path analysis and imbalance verdict")
 		memplan  = flag.Bool("memplan", false, "compile with the memory plan and report elision/pool counters")
+		fuse     = flag.Bool("fuse", false, "compile with operator fusion and report supernode counters")
+		profile  = flag.String("profile", "", "JSON operator-weight profile seeding fusion priorities")
+		profout  = flag.String("profout", "", "write the measured mean operator costs as a JSON profile here")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -57,7 +62,10 @@ func main() {
 	mach, err := cli.Machine(*machName)
 	fail(err)
 
-	res, err := compile.Compile(name, src, compile.Options{Registry: reg, MemPlan: *memplan})
+	prof, err := cli.LoadProfile(*profile)
+	fail(err)
+	res, err := compile.Compile(name, src, compile.Options{
+		Registry: reg, MemPlan: *memplan, Fuse: *fuse, FuseProfile: prof})
 	fail(err)
 
 	mode := runtime.Real
@@ -133,6 +141,20 @@ func main() {
 		st := eng.Stats()
 		fmt.Printf("\nmemory plan: %d retains + %d releases elided, %d pooled allocations, %d in-place updates proven (copies: %d)\n",
 			st.ElidedRetains, st.ElidedReleases, st.PooledAllocs, st.CopiesAvoided, st.Blocks.Copies)
+	}
+	if *fuse {
+		st := eng.Stats()
+		fmt.Printf("\nfusion: %d supernode clusters compiled, %d nodes ran fused, %d dispatches saved\n",
+			res.FusePlan.Clusters, st.FusedNodes, st.FusedDispatchesSaved)
+	}
+	if *profout != "" {
+		weights := make(map[string]int64, len(rows))
+		for _, s := range log.Summarize() {
+			weights[s.Name] = s.Total / int64(s.Calls)
+		}
+		fail(cli.WriteProfile(*profout, weights))
+		fmt.Fprintf(os.Stderr, "profile: wrote %d operator weights to %s (feed back via -profile)\n",
+			len(weights), *profout)
 	}
 }
 

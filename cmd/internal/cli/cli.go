@@ -4,8 +4,10 @@
 package cli
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -58,6 +60,45 @@ func Registry(app string) (*operator.Registry, error) {
 	default:
 		return nil, fmt.Errorf("unknown -app %q (want builtins, queens, retina, ray, or circuit)", app)
 	}
+}
+
+// LoadProfile reads an operator-weight profile — a JSON object mapping
+// operator names to mean costs — as written by delprof -profout. The
+// weights seed the fusion pass's critical-path priorities.
+func LoadProfile(path string) (map[string]int64, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prof map[string]int64
+	if err := json.Unmarshal(data, &prof); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return prof, nil
+}
+
+// WriteProfile writes an operator-weight profile with sorted keys so
+// repeated profiling runs diff cleanly.
+func WriteProfile(path string, prof map[string]int64) error {
+	names := make([]string, 0, len(prof))
+	for n := range prof {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  %q: %d%s\n", n, prof[n], sep)
+	}
+	b.WriteString("}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // Machine resolves a -machine name to a profile.

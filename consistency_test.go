@@ -37,6 +37,8 @@ func TestCrossCuttingConsistency(t *testing.T) {
 				{OptLevel: 1},
 				{OptLevel: 2},
 				{OptLevel: 2, Workers: 3},
+				{OptLevel: 2, Fuse: true},
+				{OptLevel: 2, MemPlan: true, Fuse: true},
 			}
 			for ci, copts := range compileVariants {
 				res, err := compile.Compile("gen.dlr", src, copts)

@@ -212,6 +212,16 @@ type CompileOptions struct {
 	// Stats.ElidedRetains/ElidedReleases/PooledAllocs/CopiesAvoided for the
 	// effect.
 	MemPlan bool
+	// Fuse runs the operator-fusion pass: chains (and delay-free trees) of
+	// single-consumer nodes collapse into supernodes the runtime dispatches
+	// once, and every node gets a static critical-path priority. Output is
+	// bit-identical with or without it; see Stats.FusedNodes and
+	// Stats.FusedDispatchesSaved for the effect.
+	Fuse bool
+	// FuseProfile optionally seeds fusion's critical-path weights with mean
+	// operator costs (e.g. from a delprof run); missing operators fall back
+	// to unit weight. Ignored unless Fuse is set.
+	FuseProfile map[string]int64
 }
 
 // PassTime reports one compiler pass's wall time.
@@ -231,6 +241,8 @@ func Compile(file, src string, opts CompileOptions) (*Program, error) {
 		Workers:      opts.Workers,
 		InlineBudget: opts.InlineBudget,
 		MemPlan:      opts.MemPlan,
+		Fuse:         opts.Fuse,
+		FuseProfile:  opts.FuseProfile,
 	})
 	if err != nil {
 		return nil, err
@@ -247,6 +259,13 @@ func (p *Program) MemPlan() *MemPlan { return p.res.MemPlan }
 
 // MemPlan is the memory-plan pass report (see CompileOptions.MemPlan).
 type MemPlan = opt.MemPlan
+
+// FusePlan returns the operator-fusion report, nil unless the program was
+// compiled with CompileOptions.Fuse.
+func (p *Program) FusePlan() *FusePlan { return p.res.FusePlan }
+
+// FusePlan is the operator-fusion pass report (see CompileOptions.Fuse).
+type FusePlan = opt.FusePlan
 
 // NodeCount returns the total coordination-graph node count.
 func (p *Program) NodeCount() int { return p.res.Program.NodeCount() }

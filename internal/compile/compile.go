@@ -50,6 +50,15 @@ type Options struct {
 	// payloads. Off by default; planned and unplanned programs produce
 	// bit-identical results.
 	MemPlan bool
+	// Fuse runs the operator-fusion pass (opt.FuseGraph) over the linked
+	// graph: single-consumer chains collapse into supernodes dispatched
+	// once, and static bottom-level priorities order the ready queues. Off
+	// by default; fused and unfused programs produce bit-identical results.
+	Fuse bool
+	// FuseProfile optionally seeds fusion's operator weights with mean
+	// execution costs from a delprof run (operator name -> mean ticks/ns).
+	// Missing entries fall back to unit weight.
+	FuseProfile map[string]int64
 }
 
 func (o Options) registry() *operator.Registry {
@@ -96,6 +105,8 @@ type Result struct {
 	Warnings []string
 	// MemPlan is the memory-plan report, nil unless Options.MemPlan was set.
 	MemPlan *opt.MemPlan
+	// FusePlan is the operator-fusion report, nil unless Options.Fuse was set.
+	FusePlan *opt.FusePlan
 }
 
 // PassNanos returns the duration of the named pass (0 if absent).
@@ -189,6 +200,11 @@ func compileSequential(file, src string, opts Options) (*Result, error) {
 	if opts.MemPlan {
 		timePass(res, "Memory Plan", func() {
 			res.MemPlan = opt.PlanMemory(g)
+		})
+	}
+	if opts.Fuse {
+		timePass(res, "Fusion", func() {
+			res.FusePlan = opt.FuseGraph(g, opts.FuseProfile)
 		})
 	}
 	res.Program = g
@@ -374,6 +390,13 @@ func compileParallel(file, src string, opts Options) (*Result, error) {
 		// stays sequential even in the parallel driver.
 		timePass(res, "Memory Plan", func() {
 			res.MemPlan = opt.PlanMemory(g)
+		})
+	}
+	if opts.Fuse {
+		// Fusion walks the whole call graph for bottom levels, so it too
+		// stays sequential in the parallel driver.
+		timePass(res, "Fusion", func() {
+			res.FusePlan = opt.FuseGraph(g, opts.FuseProfile)
 		})
 	}
 	res.Program = g

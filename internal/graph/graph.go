@@ -147,6 +147,51 @@ type Node struct {
 	// environment references directly to the callee activation, eliding the
 	// per-value retain (for the callee) + release (of the closure) pair.
 	MemTransferEnv bool
+
+	// The fusion fields are stamped by the optional operator-fusion pass
+	// (internal/opt.FuseGraph) and are all zero in unfused programs.
+
+	// Fused marks a node that belongs to a fused supernode: it is never
+	// scheduled individually — external deliveries gate on the cluster head
+	// instead, and the whole cluster executes as one straight-line dispatch.
+	Fused bool
+	// FuseHead is the cluster head's node id (meaningful only when Fused).
+	FuseHead int
+	// FuseCluster, set only on the cluster head, describes the supernode.
+	FuseCluster *Cluster
+	// FuseInternalOut marks a non-tail cluster member: its single out edge
+	// stays inside the cluster, so the produced value is stored straight
+	// into the next member's input slot with no counter decrement and no
+	// ready-queue round trip.
+	FuseInternalOut bool
+	// BLevel is the node's static bottom level: the weight of the longest
+	// chain from this node to any sink of its template, with operator
+	// weights seeded from a delprof profile when one was supplied (unit
+	// weights otherwise). The real executor uses it as a tie-break priority
+	// so the longest remaining chain is pulled first.
+	BLevel int64
+}
+
+// Cluster describes one fused supernode: a chain (or delay-free small tree)
+// of single-consumer nodes the runtime dispatches once and executes as a
+// straight-line sequence. The fusion pass guarantees that every external
+// input of every member is an ancestor of the head (or a param/const filled
+// at activation creation), so gating the whole cluster on the head never
+// delays it past the moment the unfused head would have fired — fusion is
+// parallelism-neutral by construction.
+type Cluster struct {
+	// Index is the cluster's ordinal within its template (dot rendering).
+	Index int
+	// Head is the first member in execution order; the cluster schedules
+	// and gates under this node's identity.
+	Head int
+	// Nodes lists the members in execution (topological) order; Nodes[0] is
+	// the head and the final entry is the tail, the only member whose
+	// output leaves the cluster.
+	Nodes []int
+	// ExtIn is the number of input edges arriving from outside the cluster
+	// — the head's initial ready counter.
+	ExtIn int
 }
 
 // Template is the compiled subgraph of one function (§7). The run-time
@@ -168,6 +213,10 @@ type Template struct {
 	Nodes []*Node
 	// Result is the node whose output is the template's value.
 	Result int
+	// Clusters lists the fused supernodes of this template (empty unless
+	// the fusion pass ran). Used by the dot renderer and reports; the
+	// runtime reaches clusters through Node.FuseCluster.
+	Clusters []*Cluster
 
 	layoutOnce sync.Once
 	inOff      []int // input-buffer offset per node
@@ -325,6 +374,10 @@ type Program struct {
 	// the executors then activate the planned settle paths and per-worker
 	// block free lists.
 	MemPlanned bool
+	// Fused records that the operator-fusion pass ran over this program;
+	// the executors then dispatch fused clusters as supernodes and order
+	// ready nodes by their static bottom levels.
+	Fused bool
 }
 
 // MemoryWords totals template memory over the program.

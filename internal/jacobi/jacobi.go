@@ -32,6 +32,9 @@ type Config struct {
 	// MemPlan runs the memory-plan pass at compile time, activating copy
 	// elision and block recycling in the executors.
 	MemPlan bool
+	// Fuse runs the operator-fusion pass at compile time, collapsing
+	// single-consumer chains into supernodes dispatched once.
+	Fuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -262,7 +265,7 @@ func Operators(cfg Config) *operator.Registry {
 // CompileProgram compiles the solver's coordination program for cfg.
 func CompileProgram(cfg Config) (*graph.Program, error) {
 	cfg = cfg.withDefaults()
-	res, err := compile.Compile("jacobi.dlr", Source(cfg), compile.Options{Registry: Operators(cfg), MemPlan: cfg.MemPlan})
+	res, err := compile.Compile("jacobi.dlr", Source(cfg), compile.Options{Registry: Operators(cfg), MemPlan: cfg.MemPlan, Fuse: cfg.Fuse})
 	if err != nil {
 		return nil, err
 	}

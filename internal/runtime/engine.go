@@ -214,6 +214,10 @@ type Engine struct {
 
 	maxOps int64
 
+	// fused mirrors prog.Fused: the executors then dispatch cluster heads
+	// as supernodes and order simultaneously-ready nodes by bottom level.
+	fused bool
+
 	// runCtx/ctxDone carry the RunContext cancellation signal. ctxDone is
 	// nil for context.Background, keeping the disabled-path cost of the
 	// worker-loop poll to a single nil check.
@@ -224,7 +228,7 @@ type Engine struct {
 // New prepares an engine for prog under cfg. The same program can be run by
 // many engines; templates are immutable.
 func New(prog *graph.Program, cfg Config) *Engine {
-	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps}
+	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps, fused: prog.Fused}
 	if cfg.Mode == Simulated {
 		e.simPools = make(map[*graph.Template][]*activation)
 	}
@@ -380,13 +384,31 @@ func (e *Engine) release(a *activation) {
 	}
 }
 
-// classify assigns the ready-queue priority for a runnable node. For
-// dynamic closure calls the closure value is already on input 0, so the
-// callee's recursion flag is known.
+// classify assigns the ready-queue priority for a runnable node. A fused
+// supernode schedules at its most-deferred member's level: fusing a call's
+// argument chain must not promote a recursive expansion past the §7
+// draining order, or live activations would explode.
 func (e *Engine) classify(a *activation, n *graph.Node) Priority {
 	if e.cfg.DisablePriorities {
 		return PriNormal
 	}
+	if c := n.FuseCluster; c != nil {
+		pri := PriNormal
+		for _, id := range c.Nodes {
+			if p := e.classify1(a, a.tmpl.Nodes[id]); p > pri {
+				pri = p
+			}
+		}
+		return pri
+	}
+	return e.classify1(a, n)
+}
+
+// classify1 assigns one node's priority. For dynamic closure calls the
+// closure value is already on input 0, so the callee's recursion flag is
+// known (a fused member whose closure is produced inside the cluster sees
+// an empty slot and conservatively classifies as PriCall).
+func (e *Engine) classify1(a *activation, n *graph.Node) Priority {
 	switch n.Kind {
 	case graph.CallNode:
 		if n.Callee != nil && n.Callee.Recursive {

@@ -31,11 +31,6 @@ type worker struct {
 	// disabled case is a single nil check.
 	tr *tracer
 
-	// detached marks the shadow worker a deadline-bounded operator call
-	// runs under: its charges stay private until the call completes, so an
-	// abandoned (timed-out) goroutine cannot race on shared statistics.
-	detached bool
-
 	// mem is this worker's memory-plan state (free list, elision counters),
 	// nil when the program was not planned — every planned code path is
 	// gated on this one field. Shadow workers keep it nil so abandoned
@@ -48,15 +43,29 @@ type worker struct {
 	// the simulated machine's memory model (copied words count as local
 	// writes).
 	localWords, remoteWords int64
+
+	// ready is scratch space complete() uses to batch newly-runnable nodes
+	// so a fused program can release them in bottom-level order.
+	ready []*graph.Node
+	// lifo marks a scheduler whose local queue pops newest-first (the
+	// work-stealing deque); flushReady then pushes in reverse so pops come
+	// out in bottom-level order.
+	lifo bool
+	// base is the real executor's run start, the zero point for the
+	// per-member timing entries a fused dispatch records.
+	base time.Time
+	// simClock, in simulated mode, points at the scheduler's virtual clock
+	// so a fused dispatch can advance it across members, giving sub-events
+	// and per-member timings exact virtual timestamps.
+	simClock *int64
 }
 
-// Charge implements operator.Context.
+// Charge implements operator.Context. It only bumps the worker-local
+// accumulator; execNode flushes the dispatch's total into the shared stats
+// counter once, so a fused chain of charging operators costs one atomic
+// instead of one per member.
 func (w *worker) Charge(units int64) {
 	w.charge += units
-	if w.detached {
-		return
-	}
-	atomic.AddInt64(&w.e.stats.ChargedUnits, units)
 }
 
 // BlockStats implements operator.Context.
@@ -164,7 +173,9 @@ func (e *Engine) callOperatorBounded(w *worker, n *graph.Node, ins []value.Value
 		v   value.Value
 		err error
 	}
-	sw := &worker{e: e, proc: w.proc, detached: true}
+	// The shadow worker's charges stay private until the call completes, so
+	// an abandoned (timed-out) goroutine cannot race on shared statistics.
+	sw := &worker{e: e, proc: w.proc}
 	argv := make([]value.Value, len(ins))
 	copy(argv, ins)
 	ch := make(chan opResult, 1) // buffered: an abandoned call must not block
@@ -176,10 +187,12 @@ func (e *Engine) callOperatorBounded(w *worker, n *graph.Node, ins []value.Value
 	defer timer.Stop()
 	select {
 	case r := <-ch:
+		// Merging into w.charge routes the shadow's units through execNode's
+		// end-of-dispatch stats flush; an abandoned call's charges are lost,
+		// as before.
 		w.charge += sw.charge
 		w.localWords += sw.localWords
 		w.remoteWords += sw.remoteWords
-		atomic.AddInt64(&e.stats.ChargedUnits, sw.charge)
 		return r.v, r.err
 	case <-timer.C:
 		atomic.AddInt64(&e.stats.OpTimeouts, 1)
@@ -381,17 +394,43 @@ func snapshotValue(v value.Value, st *value.BlockStats, copies *int64) (value.Va
 	}
 }
 
-// execNode runs one runnable node. It performs the destructive-argument
-// copy protocol, executes the node, settles block references, and delivers
-// the produced value (or spawns a child activation for subgraph
-// expansions).
+// execNode runs one dispatched node: a fused cluster head executes its
+// whole supernode as a straight-line sequence, anything else runs alone.
 func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
+	w.charge, w.localWords, w.remoteWords = 0, 0, 0
+	var err error
+	if c := n.FuseCluster; c != nil {
+		err = e.execFused(w, a, c)
+	} else {
+		err = e.execNode1(w, a, n)
+	}
+	if w.charge != 0 {
+		atomic.AddInt64(&e.stats.ChargedUnits, w.charge)
+	}
+	return err
+}
+
+// execNode1 runs one node. It performs the destructive-argument copy
+// protocol, executes the node, settles block references, and delivers the
+// produced value (or spawns a child activation for subgraph expansions).
+// Callers must have reset the worker's charge accumulators.
+func (e *Engine) execNode1(w *worker, a *activation, n *graph.Node) error {
 	ops := atomic.AddInt64(&e.stats.OpsExecuted, 1)
+	if err := e.checkOps(a, ops); err != nil {
+		return err
+	}
+	return e.execBody(w, a, n)
+}
+
+// checkOps enforces the operation budget and polls cancellation at operator
+// boundaries, amortized across executions; the disabled cases cost one nil
+// check each. ops is the post-increment OpsExecuted count. Fused supernodes
+// call it once per cluster with a batched count, so the budget may overshoot
+// by at most the cluster size before the error surfaces.
+func (e *Engine) checkOps(a *activation, ops int64) error {
 	if e.maxOps > 0 && ops > e.maxOps {
 		return errBudget(e.maxOps, activationPath(a))
 	}
-	// Cancellation is polled at operator boundaries, amortized across
-	// executions; the disabled case costs one nil check per node.
 	if e.ctxDone != nil && ops&63 == 0 {
 		select {
 		case <-e.ctxDone:
@@ -399,7 +438,12 @@ func (e *Engine) execNode(w *worker, a *activation, n *graph.Node) error {
 		default:
 		}
 	}
-	w.charge, w.localWords, w.remoteWords = 0, 0, 0
+	return nil
+}
+
+// execBody dispatches on the node kind; accounting (OpsExecuted, budget,
+// cancellation) is the caller's job so fused clusters can batch it.
+func (e *Engine) execBody(w *worker, a *activation, n *graph.Node) error {
 	ins := a.inputs(n)
 
 	switch n.Kind {
@@ -566,6 +610,14 @@ func (e *Engine) expand(w *worker, a *activation, n *graph.Node, callee *graph.T
 // enqueues every node that is runnable from the start.
 func (e *Engine) initActivation(w *worker, a *activation, args []value.Value) {
 	for _, n := range a.tmpl.Nodes {
+		if n.Fused {
+			// Members never schedule individually; a cluster with no
+			// external inputs is runnable from the start via its head.
+			if c := n.FuseCluster; c != nil && c.ExtIn == 0 {
+				w.sched(a, n)
+			}
+			continue
+		}
 		if n.NIn != 0 {
 			continue
 		}
@@ -585,21 +637,32 @@ func (e *Engine) initActivation(w *worker, a *activation, args []value.Value) {
 // bubbles the value through the continuation chain iteratively.
 func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value) {
 	for {
+		if n.FuseInternalOut {
+			// Chain-internal handoff inside a fused supernode: the single
+			// consumer is the next member, already dispatched as part of this
+			// straight-line sequence. The value lands in its input slot with
+			// no counter decrement, no retain (one consumer), and no
+			// ready-queue round trip. Internal-out nodes are never the result
+			// and never Spread (fusion excludes both).
+			// The remaining-counter decrement is deferred: execFused batches
+			// all internal members' decrements into one atomic applied
+			// before the tail runs.
+			edge := n.Out[0]
+			off, _ := a.tmpl.Layout()
+			a.buf[off[edge.To]+edge.Port] = v
+			if w.tr != nil {
+				w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
+					Act: a.seq, Node: int32(edge.To)})
+			}
+			return
+		}
 		if n.Spread {
 			// Ownership of the package's elements is split among the
 			// consuming detuple nodes; no retention multiplier applies.
 			for _, edge := range n.Out {
-				if w.delivered != nil {
-					w.delivered(a, edge.To)
-				}
-				if w.tr != nil {
-					w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
-						Act: a.seq, Node: int32(edge.To)})
-				}
-				if a.deliver(edge.To, edge.Port, v) {
-					w.sched(a, a.tmpl.Nodes[edge.To])
-				}
+				e.deliverEdge(w, a, edge, v)
 			}
+			e.flushReady(w, a)
 			e.finishNode(a) // Spread producers are never the result node
 			return
 		}
@@ -621,17 +684,9 @@ func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value
 			}
 		}
 		for _, edge := range n.Out {
-			if w.delivered != nil {
-				w.delivered(a, edge.To)
-			}
-			if w.tr != nil {
-				w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
-					Act: a.seq, Node: int32(edge.To)})
-			}
-			if a.deliver(edge.To, edge.Port, v) {
-				w.sched(a, a.tmpl.Nodes[edge.To])
-			}
+			e.deliverEdge(w, a, edge, v)
 		}
+		e.flushReady(w, a)
 		if !isResult {
 			e.finishNode(a)
 			return
@@ -646,9 +701,76 @@ func (e *Engine) complete(w *worker, a *activation, n *graph.Node, v value.Value
 	}
 }
 
+// deliverEdge delivers v along one out edge. Deliveries to fused members
+// redirect the ready decrement to the cluster head; a node (or cluster)
+// that became runnable is batched on w.ready for flushReady.
+func (e *Engine) deliverEdge(w *worker, a *activation, edge graph.Edge, v value.Value) {
+	gate := edge.To
+	if tn := a.tmpl.Nodes[edge.To]; tn.Fused {
+		gate = tn.FuseHead
+	}
+	if w.delivered != nil {
+		w.delivered(a, gate)
+	}
+	if w.tr != nil {
+		w.tr.record(w.proc, TraceEvent{Type: TraceDeliver, Ts: w.tr.now(),
+			Act: a.seq, Node: int32(edge.To)})
+	}
+	if a.deliver(edge.To, edge.Port, gate, v) {
+		w.ready = append(w.ready, a.tmpl.Nodes[gate])
+	}
+}
+
+// flushReady schedules the nodes deliverEdge batched. Unfused programs
+// release them in delivery order — byte-identical scheduling to the
+// unbatched path — while fused programs order simultaneously-ready nodes by
+// static bottom level so the longest remaining chain is pulled first (for a
+// LIFO local deque the pushes are reversed so pops come out in that order).
+func (e *Engine) flushReady(w *worker, a *activation) {
+	ready := w.ready
+	if len(ready) == 0 {
+		return
+	}
+	if !e.fused || len(ready) == 1 {
+		for _, n := range ready {
+			w.sched(a, n)
+		}
+	} else {
+		// Stable insertion sort, descending bottom level: ready sets are
+		// tiny (fan-out of one node) and ties keep delivery order.
+		for i := 1; i < len(ready); i++ {
+			for j := i; j > 0 && ready[j].BLevel > ready[j-1].BLevel; j-- {
+				ready[j], ready[j-1] = ready[j-1], ready[j]
+			}
+		}
+		if w.lifo {
+			for i := len(ready) - 1; i >= 0; i-- {
+				w.sched(a, ready[i])
+			}
+		} else {
+			for _, n := range ready {
+				w.sched(a, n)
+			}
+		}
+	}
+	w.ready = ready[:0]
+}
+
 // finishNode retires one node; the last retirement recycles the activation.
 func (e *Engine) finishNode(a *activation) {
 	if atomic.AddInt32(&a.remaining, -1) == 0 {
+		e.stats.noteLive(-1, -int64(a.tmpl.ActivationWords()))
+		e.release(a)
+	}
+}
+
+// finishNodes applies k node completions at once — the batched form of
+// finishNode used by fused supernodes for their internal members.
+func (e *Engine) finishNodes(a *activation, k int32) {
+	if k == 0 {
+		return
+	}
+	if atomic.AddInt32(&a.remaining, -k) == 0 {
 		e.stats.noteLive(-1, -int64(a.tmpl.ActivationWords()))
 		e.release(a)
 	}

@@ -95,7 +95,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		wg.Add(1)
 		go func(proc int) {
 			defer wg.Done()
-			w := &worker{e: e, proc: proc, tr: e.tracer, mem: e.memState(proc)}
+			w := &worker{e: e, proc: proc, tr: e.tracer, mem: e.memState(proc), base: start, lifo: true}
 			w.sched = func(a *activation, n *graph.Node) {
 				atomic.AddInt64(&outstanding, 1)
 				s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
@@ -123,7 +123,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 				actSeq, nodeID := t.act.seq, int32(t.node.ID)
 				if e.tracer != nil {
 					e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
-						Act: actSeq, Node: nodeID, Name: traceLabel(t.node), Tmpl: t.act.tmpl.Name})
+						Act: actSeq, Node: nodeID, Name: dispatchLabel(t.node), Tmpl: t.act.tmpl.Name})
 				}
 				err := e.execNode(w, t.act, t.node)
 				if e.tracer != nil {
@@ -135,7 +135,10 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 					s.close()
 					return
 				}
-				if e.timing != nil && t.node.Kind == graph.OpNode {
+				// Fused dispatches record their own per-member entries, so the
+				// executor-level entry (which would bill the whole supernode
+				// to the head operator) is suppressed for them.
+				if e.timing != nil && t.node.Kind == graph.OpNode && t.node.FuseCluster == nil {
 					e.timing.addShard(proc, TimingEntry{
 						Name:     t.node.Name,
 						Template: t.act.tmpl.Name,
@@ -178,6 +181,7 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 	}
 
 	start := time.Now()
+	w.base = start
 	if e.tracer != nil {
 		e.tracer.now = func() int64 { return int64(time.Since(start)) }
 	}
@@ -198,7 +202,7 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 		actSeq, nodeID := t.act.seq, int32(t.node.ID)
 		if e.tracer != nil {
 			e.tracer.record(0, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
-				Act: actSeq, Node: nodeID, Name: traceLabel(t.node), Tmpl: t.act.tmpl.Name})
+				Act: actSeq, Node: nodeID, Name: dispatchLabel(t.node), Tmpl: t.act.tmpl.Name})
 		}
 		err := e.execNode(w, t.act, t.node)
 		if e.tracer != nil {
@@ -209,7 +213,7 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 			e.failAt(t.act, err)
 			break
 		}
-		if e.timing != nil && t.node.Kind == graph.OpNode {
+		if e.timing != nil && t.node.Kind == graph.OpNode && t.node.FuseCluster == nil {
 			e.timing.addShard(0, TimingEntry{
 				Name:     t.node.Name,
 				Template: t.act.tmpl.Name,

@@ -70,7 +70,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 	// The simulated executor is single-threaded: one worker (re-stamped with
 	// the virtual processor per item) and therefore one plan state, keeping
 	// pool reuse — and with it the trace — deterministic.
-	w := &worker{e: e, proc: 0, tr: e.tracer, mem: e.memState(0)}
+	w := &worker{e: e, proc: 0, tr: e.tracer, mem: e.memState(0), simClock: &clock}
 	var buffered []simItem
 	type delivery struct {
 		act    *activation
@@ -175,12 +175,14 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		actSeq, nodeID := item.act.seq, int32(item.node.ID)
 		if e.tracer != nil {
 			e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: start,
-				Act: actSeq, Node: nodeID, Name: traceLabel(item.node), Tmpl: item.act.tmpl.Name})
+				Act: actSeq, Node: nodeID, Name: dispatchLabel(item.node), Tmpl: item.act.tmpl.Name})
 		}
 		if err := e.execNode(w, item.act, item.node); err != nil {
 			e.failAt(item.act, err)
 			break
 		}
+		// A fused dispatch advances clock past start as members execute
+		// (w.simClock), so the total is anchored at start, not clock.
 		dur := prof.DispatchTicks +
 			int64(float64(w.charge)*prof.TickPerUnit) +
 			int64(float64(w.localWords)*prof.LocalTicksPerWord) +
@@ -188,7 +190,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 		if dur < 1 {
 			dur = 1
 		}
-		end := clock + dur
+		end := start + dur
 		procFree[proc] = end
 		busy[proc] += dur
 		e.stats.DispatchTicks += prof.DispatchTicks
@@ -201,7 +203,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 			e.tracer.record(proc, TraceEvent{Type: TraceNodeEnd, Ts: end,
 				Act: actSeq, Node: nodeID})
 		}
-		if item.node.Kind == graph.OpNode {
+		if item.node.Kind == graph.OpNode && item.node.FuseCluster == nil {
 			lastProc[item.node.Name] = proc
 			if e.timing != nil {
 				e.timing.addShard(proc, TimingEntry{Name: item.node.Name, Template: item.act.tmpl.Name,

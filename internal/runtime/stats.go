@@ -72,6 +72,13 @@ type Stats struct {
 	ElidedReleases int64
 	PooledAllocs   int64
 	CopiesAvoided  int64
+	// Operator-fusion counters, all zero when the program was compiled
+	// without fusion. FusedNodes counts node executions performed inside
+	// fused supernodes (these still count in OpsExecuted); FusedDispatches-
+	// Saved counts the ready-queue dispatches fusion avoided — one per
+	// fused node beyond each supernode's head.
+	FusedNodes           int64
+	FusedDispatchesSaved int64
 
 	// Simulated-mode results. MakespanTicks is the virtual finish time;
 	// BusyTicks the summed per-processor busy time; DispatchTicks the
@@ -139,6 +146,9 @@ func (s *Stats) String() string {
 	pa, ca := atomic.LoadInt64(&s.PooledAllocs), atomic.LoadInt64(&s.CopiesAvoided)
 	if er != 0 || el != 0 || pa != 0 || ca != 0 {
 		out += fmt.Sprintf(" elided=%d+%d pooled=%d inplace=%d", er, el, pa, ca)
+	}
+	if fn, fd := atomic.LoadInt64(&s.FusedNodes), atomic.LoadInt64(&s.FusedDispatchesSaved); fn != 0 || fd != 0 {
+		out += fmt.Sprintf(" fused=%d(-%d dispatches)", fn, fd)
 	}
 	return out
 }

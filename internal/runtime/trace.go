@@ -60,6 +60,10 @@ const (
 	// TraceMemElide records memory-plan savings at one node execution; Arg
 	// is the number of refcount operations elided plus free-list hits.
 	TraceMemElide
+	// TraceFused records one fused supernode dispatch; Arg is the member
+	// count. The per-member node start/end pairs follow inside the
+	// supernode's bracketing slice.
+	TraceFused
 )
 
 // String names the event kind.
@@ -93,6 +97,8 @@ func (t TraceEventType) String() string {
 		return "fault"
 	case TraceMemElide:
 		return "mem-elide"
+	case TraceFused:
+		return "fused"
 	default:
 		return "unknown"
 	}
