@@ -22,6 +22,8 @@
 package delirium_test
 
 import (
+	"context"
+
 	"runtime"
 	"testing"
 
@@ -449,4 +451,59 @@ func BenchmarkWalksTable(b *testing.B) {
 		speedup = float64(t1) / float64(tn)
 	}
 	b.ReportMetric(speedup, "walk_speedup")
+}
+
+// throughputJacobi is the small repeated-run workload: a jacobi solve tiny
+// enough that per-run fixed costs (engine construction, worker spawn, cold
+// pools) dominate — exactly what the reusable-engine fast path amortizes.
+func throughputJacobi(b *testing.B) *graph.Program {
+	b.Helper()
+	prog, err := jacobi.CompileProgram(jacobi.Config{N: 6, Tol: 1e6, MemPlan: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+var throughputCfg = rt.Config{Mode: rt.Real, Workers: 8, MaxOps: 100_000_000}
+
+// BenchmarkRunThroughputFresh is the pre-reuse cost model: a new engine —
+// new scheduler, new worker goroutines, cold activation pools and block
+// free lists — constructed for every run of the same compiled graph.
+func BenchmarkRunThroughputFresh(b *testing.B) {
+	prog := throughputJacobi(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := rt.New(prog, throughputCfg)
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunThroughputReused is the throughput mode: one engine serves
+// the whole stream via RunMany — warmed pools, a reopened scheduler, and
+// persistent worker goroutines parked between runs. CI gates the pair: the
+// reused path must stay at least 2x the runs/sec of the fresh path.
+func BenchmarkRunThroughputReused(b *testing.B) {
+	prog := throughputJacobi(b)
+	eng := rt.New(prog, throughputCfg)
+	b.ResetTimer()
+	// Chunk the stream so the held results stay bounded regardless of b.N.
+	for done := 0; done < b.N; {
+		n := b.N - done
+		if n > 256 {
+			n = 256
+		}
+		results, err := eng.RunMany(context.Background(), make([][]value.Value, n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		done += n
+	}
 }

@@ -7,7 +7,7 @@
 //	delx -list            list experiment ids
 //
 // Experiments: fig1, tab1, tab1wall, tab2, lst1, lst2, ovh, prio, aff,
-// mem, opt, walks, queens, faults.
+// mem, opt, walks, queens, faults, thru.
 //
 // The faults experiment takes -retries (retry attempts per operator) and
 // -timeout (per-operator execution bound; 0 for none).
@@ -68,6 +68,8 @@ func all(opTimeout time.Duration, retries int) []experiment {
 			experiments.QueensText},
 		{"faults", "fault tolerance: every retina operator killed once, output identical",
 			func() (string, error) { return experiments.FaultsText(opTimeout, retries) }},
+		{"thru", "throughput mode: reused engine (RunMany) vs fresh engine per run",
+			func() (string, error) { return experiments.ThroughputText(200) }},
 	}
 }
 

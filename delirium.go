@@ -98,8 +98,13 @@ func NewRegistry(parent *Registry) *Registry { return operator.NewRegistry(paren
 
 // Re-exported execution types.
 type (
-	// Engine executes one compiled program once.
+	// Engine executes one compiled program. An engine is reusable: Reset
+	// returns a finished engine to runnable without discarding its warmed
+	// activation pools, block free lists, or scheduler, and RunMany batches
+	// invocations through one engine with persistent workers.
 	Engine = runtime.Engine
+	// RunResult is one invocation's outcome in a RunMany batch.
+	RunResult = runtime.RunResult
 	// RunConfig configures an execution (workers, mode, machine profile,
 	// timing, affinity, priority ablation).
 	RunConfig = runtime.Config
@@ -277,7 +282,8 @@ func (p *Program) Dot() string { return p.res.Program.Dot() }
 // Graph exposes the underlying coordination-graph program for tooling.
 func (p *Program) Graph() *graph.Program { return p.res.Program }
 
-// NewEngine prepares an execution of the program; one engine runs once.
+// NewEngine prepares an execution of the program. An engine runs once per
+// Run; Reset it between runs (or use RunMany) to reuse its warmed state.
 func (p *Program) NewEngine(cfg RunConfig) *Engine {
 	return runtime.New(p.res.Program, cfg)
 }
@@ -298,29 +304,46 @@ func (p *Program) RunContext(ctx context.Context, cfg RunConfig, args ...Value) 
 	return p.NewEngine(cfg).RunContext(ctx, args...)
 }
 
+// RunMany executes main once per argument list in batch through one reused
+// engine: activation pools, block free lists, and the work-stealing
+// scheduler warm up on the first invocation and serve the rest, and in
+// multi-worker Real mode the worker goroutines persist across runs instead
+// of being respawned per run — the repeated-run fast path for serving the
+// same compiled graph many times. Each invocation keeps single-run
+// semantics (individually deterministic, cancellable, retryable, and
+// fault-injected); a failed invocation records its error in its RunResult
+// slot and the batch continues.
+func (p *Program) RunMany(cfg RunConfig, batch [][]Value) ([]RunResult, error) {
+	return p.NewEngine(cfg).RunMany(context.Background(), batch)
+}
+
+// RunManyContext is RunMany under a context: once ctx dies, the in-flight
+// invocation stops at the next operator boundary and the remaining
+// invocations fail with FailCanceled without running.
+func (p *Program) RunManyContext(ctx context.Context, cfg RunConfig, batch [][]Value) ([]RunResult, error) {
+	return p.NewEngine(cfg).RunMany(ctx, batch)
+}
+
 // RunStats executes like Run but also returns the engine's statistics and
-// timing log (nil unless cfg.Timing).
+// timing log (nil unless cfg.Timing). Stats and timing are returned even
+// when the run fails — counters and per-node timings are most needed when
+// diagnosing a failed run — so check err before trusting the value.
 func (p *Program) RunStats(cfg RunConfig, args ...Value) (Value, *Stats, *TimingLog, error) {
 	e := p.NewEngine(cfg)
 	v, err := e.Run(args...)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return v, e.Stats(), e.Timing(), nil
+	return v, e.Stats(), e.Timing(), err
 }
 
 // RunTraced executes like Run with structured tracing forced on and returns
 // the recorded trace alongside the result. Export the trace with
 // Trace.WriteChrome (view at ui.perfetto.dev) or analyze it with
-// Trace.CriticalPath.
+// Trace.CriticalPath. A failed run returns the partial trace recorded up to
+// the failure alongside the RunError — exactly the trace worth exporting.
 func (p *Program) RunTraced(cfg RunConfig, args ...Value) (Value, *Trace, error) {
 	cfg.Trace = true
 	e := p.NewEngine(cfg)
 	v, err := e.Run(args...)
-	if err != nil {
-		return nil, nil, err
-	}
-	return v, e.Trace(), nil
+	return v, e.Trace(), err
 }
 
 // Eval compiles and runs a single Delirium expression against the builtin

@@ -188,3 +188,74 @@ func TestPreludeExport(t *testing.T) {
 		t.Error("Prelude() missing parmap")
 	}
 }
+
+// TestRunStatsOnFailure: a failed run must still surface its counters and
+// timing log — they are most useful when diagnosing exactly that run.
+func TestRunStatsOnFailure(t *testing.T) {
+	prog, err := delirium.Compile("t.dlr", "main(a, b) add(incr(a), div(a, b))", delirium.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, stats, timing, err := prog.RunStats(delirium.RunConfig{
+		Mode: delirium.Real, Workers: 2, Timing: true,
+	}, delirium.Int(1), delirium.Int(0))
+	if err == nil {
+		t.Fatal("division by zero must fail")
+	}
+	if v != nil {
+		t.Errorf("failed run value = %v, want nil", v)
+	}
+	if stats == nil || stats.OpsExecuted == 0 {
+		t.Errorf("failed run stats = %+v, want the partial counters", stats)
+	}
+	if timing == nil {
+		t.Error("failed run timing = nil, want the partial log")
+	}
+}
+
+// TestRunTracedOnFailure: the partial trace recorded up to the failure is
+// returned alongside the RunError.
+func TestRunTracedOnFailure(t *testing.T) {
+	prog, err := delirium.Compile("t.dlr", "main(a, b) add(incr(a), div(a, b))", delirium.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, trace, err := prog.RunTraced(delirium.RunConfig{Mode: delirium.Real, Workers: 2},
+		delirium.Int(1), delirium.Int(0))
+	if err == nil {
+		t.Fatal("division by zero must fail")
+	}
+	if v != nil {
+		t.Errorf("failed run value = %v, want nil", v)
+	}
+	if trace == nil || len(trace.Events) == 0 {
+		t.Error("failed run trace empty, want the events recorded before the failure")
+	}
+}
+
+// TestPublicRunMany: the batched entry point through the public API — mixed
+// success and failure, engine reused across the whole batch.
+func TestPublicRunMany(t *testing.T) {
+	prog, err := delirium.Compile("t.dlr", "main(a, b) div(a, b)", delirium.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := prog.RunMany(delirium.RunConfig{Mode: delirium.Real, Workers: 4},
+		[][]delirium.Value{
+			{delirium.Int(84), delirium.Int(2)},
+			{delirium.Int(1), delirium.Int(0)},
+			{delirium.Int(9), delirium.Int(3)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Value != delirium.Int(42) {
+		t.Errorf("invocation 0 = %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Error("invocation 1 must fail (division by zero)")
+	}
+	if results[2].Err != nil || results[2].Value != delirium.Int(3) {
+		t.Errorf("invocation 2 = %+v", results[2])
+	}
+}

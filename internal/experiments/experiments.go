@@ -13,6 +13,8 @@
 //	queens §3 example (92 solutions, deterministic order)
 //	faults fault-tolerance acceptance: every retina operator killed once,
 //	       retried, output bit-identical to the fault-free run
+//	thru   throughput mode: fresh engine per run vs one reused engine
+//	       (RunMany), results bit-identical, reuse speedup reported
 //
 // Absolute numbers depend on the host and the virtual-machine calibration;
 // the experiments reproduce the paper's *shapes*: who wins, by roughly what
@@ -20,17 +22,20 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/compile"
+	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/queens"
 	"repro/internal/retina"
 	"repro/internal/runtime"
 	"repro/internal/selfcomp"
 	"repro/internal/treewalk"
+	"repro/internal/value"
 )
 
 // Fig1Config is the retina workload used for Figure 1.
@@ -604,6 +609,76 @@ func FaultsText(opTimeout time.Duration, retries int) (string, error) {
 	b.WriteString("\nretried attempts re-execute on snapshots of their destructively-declared\n" +
 		"inputs, so recovery is invisible in the output (the §8 determinism\n" +
 		"guarantee extended to failures)\n")
+	return b.String(), nil
+}
+
+// ThroughputText measures the repeated-run fast path (ROADMAP item 2): N
+// invocations of a small jacobi solve, a fresh engine per run versus one
+// reused engine batching the stream through RunMany — warmed activation
+// pools, persistent block free lists, and worker goroutines parked between
+// runs instead of respawned. Every reused result is checked bit-identical
+// to the fresh baseline, so the speedup is reported over proven-equal work.
+func ThroughputText(runs int) (string, error) {
+	if runs <= 0 {
+		runs = 200
+	}
+	prog, err := jacobi.CompileProgram(jacobi.Config{N: 8, Tol: 1e6, MemPlan: true})
+	if err != nil {
+		return "", err
+	}
+	cfg := runtime.Config{Mode: runtime.Real, Workers: 4, MaxOps: 100_000_000}
+
+	// Fresh baseline: a new engine — scheduler, workers, cold pools — per run.
+	var want *jacobi.State
+	freshStart := time.Now()
+	for i := 0; i < runs; i++ {
+		v, err := runtime.New(prog, cfg).Run()
+		if err != nil {
+			return "", err
+		}
+		if want, err = jacobi.StateOf(v); err != nil {
+			return "", err
+		}
+	}
+	freshDur := time.Since(freshStart)
+
+	// Throughput mode: one engine serves the whole stream.
+	eng := runtime.New(prog, cfg)
+	reusedStart := time.Now()
+	results, err := eng.RunMany(context.Background(), make([][]value.Value, runs))
+	if err != nil {
+		return "", err
+	}
+	reusedDur := time.Since(reusedStart)
+	identical := 0
+	for i, r := range results {
+		if r.Err != nil {
+			return "", fmt.Errorf("reused run %d: %w", i, r.Err)
+		}
+		st, err := jacobi.StateOf(r.Value)
+		if err != nil {
+			return "", err
+		}
+		if jacobi.Matches(st, want) {
+			identical++
+		}
+	}
+
+	perFresh := freshDur / time.Duration(runs)
+	perReused := reusedDur / time.Duration(runs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Throughput mode: %d runs of a small jacobi solve (N=8, memplan), 4 workers\n\n", runs)
+	fmt.Fprintf(&b, "%-22s %14s %12s\n", "engine", "per run", "runs/sec")
+	fmt.Fprintf(&b, "%-22s %14v %12.0f\n", "fresh per run", perFresh.Round(time.Microsecond),
+		float64(runs)/freshDur.Seconds())
+	fmt.Fprintf(&b, "%-22s %14v %12.0f\n", "reused (RunMany)", perReused.Round(time.Microsecond),
+		float64(runs)/reusedDur.Seconds())
+	fmt.Fprintf(&b, "\nreuse speedup: %.2fx; %d/%d reused results bit-identical to the fresh baseline\n",
+		float64(freshDur)/float64(reusedDur), identical, runs)
+	if identical != runs {
+		return "", fmt.Errorf("throughput: %d of %d reused results diverged from the fresh baseline",
+			runs-identical, runs)
+	}
 	return b.String(), nil
 }
 

@@ -178,7 +178,27 @@ const (
 	numPriorities
 )
 
-// Engine executes one coordination-graph program.
+// Engine run states. An engine is a reusable execution context: Run moves
+// it idle -> running -> finished, and Reset moves finished back to idle
+// without discarding the per-program immutable state or the warmed pools.
+const (
+	engIdle int32 = iota
+	engRunning
+	engFinished
+)
+
+// resultBox wraps the run result for atomic publication: atomic.Value
+// requires a consistent concrete type across stores, and successive runs of
+// a reused engine may produce results of different dynamic types.
+type resultBox struct{ v value.Value }
+
+// Engine executes one coordination-graph program. The engine's state splits
+// two ways: per-program immutable state (the graph, the fuse and memory
+// plans, the configuration) and per-run mutable state (activations in
+// flight, statistics, the trace, fault cursors, the result). Reset clears
+// only the latter, so a finished engine returns to runnable without
+// reallocating workers, deques, activation pools, or block free lists —
+// the repeated-run fast path RunMany builds on.
 type Engine struct {
 	prog *graph.Program
 	cfg  Config
@@ -186,17 +206,27 @@ type Engine struct {
 	stats  Stats
 	timing *TimingLog
 	tracer *tracer
-	pools  sync.Map // *graph.Template -> *sync.Pool
+	pools  sync.Map // *graph.Template -> *sync.Pool; persists across runs
 	// simPools replaces the sync.Pools in Simulated mode. The simulated
 	// executor is single-threaded, and sync.Pool may drop items under GC
 	// pressure (and deliberately under the race detector), which would make
 	// activation reuse — and with it the recorded trace — nondeterministic.
 	// A plain per-template free list keeps the determinism contract exact.
+	// Like the sync.Pools, the free lists persist across runs of a reused
+	// engine.
 	simPools map[*graph.Template][]*activation
-	started  atomic.Bool
-	stopped  atomic.Bool
-	errOnce  sync.Once
-	runErr   error
+	// state is the engine's run-lifecycle state (engIdle/engRunning/
+	// engFinished); gen counts completed runs — the run-generation counter
+	// that replaced the one-shot started flag.
+	state   atomic.Int32
+	gen     atomic.Int64
+	stopped atomic.Bool
+	// failMu guards the first-failure record below; the first failure wins
+	// and later errors are dropped (sync.Once cannot be reused across runs,
+	// a mutex plus a per-run flag can).
+	failMu    sync.Mutex
+	failedRun bool
+	runErr    error
 	// failedAct is the activation executing when the first error was
 	// recorded (nil when the failure is not tied to one); rootAct is the
 	// main activation. Both seed the error-path teardown sweep and are read
@@ -207,16 +237,30 @@ type Engine struct {
 	// memStates, present only for memory-planned programs, holds one
 	// per-worker plan state per processor plus a final slot for the boot
 	// worker (proc -1). Allocated up front in New so workers index it
-	// without synchronization; merged into Stats by takeResult.
+	// without synchronization; merged into Stats by takeResult. The block
+	// free lists inside persist across runs of a reused engine — warming
+	// them is exactly what the repeated-run fast path amortizes.
 	memStates []*memState
 
-	result atomic.Value // value.Value
+	result atomic.Value // resultBox
 
 	maxOps int64
 
 	// fused mirrors prog.Fused: the executors then dispatch cluster heads
 	// as supernodes and order simultaneously-ready nodes by bottom level.
 	fused bool
+
+	// sched is the real executor's work-stealing scheduler, created on the
+	// first multi-worker run and reused (reopened) by every run after it so
+	// a reused engine never reallocates deques or parkers.
+	sched *stealScheduler
+	// pool, when non-nil, is the persistent worker pool RunMany installs:
+	// worker goroutines that survive across runs, parking between them,
+	// instead of being respawned and joined per run.
+	pool *runPool
+	// outstanding counts scheduled-but-unfinished tasks of the current
+	// Real-mode run; quiescence is outstanding returning to zero.
+	outstanding atomic.Int64
 
 	// runCtx/ctxDone carry the RunContext cancellation signal. ctxDone is
 	// nil for context.Background, keeping the disabled-path cost of the
@@ -251,15 +295,80 @@ func New(prog *graph.Program, cfg Config) *Engine {
 // ErrNoMain is returned when the program has no main function.
 var ErrNoMain = errors.New("delirium: program has no main function")
 
-// ErrAlreadyRun is returned when Run is invoked twice on one engine.
-var ErrAlreadyRun = errors.New("delirium: engine already ran; create a new engine per execution")
+// ErrAlreadyRun is returned when Run is invoked on an engine whose previous
+// run finished and was not Reset.
+var ErrAlreadyRun = errors.New("delirium: engine already ran; Reset it (or create a new engine) per execution")
+
+// ErrEngineRunning is returned by Reset (and a concurrent Run) while an
+// execution is still in flight.
+var ErrEngineRunning = errors.New("delirium: engine is running")
 
 // Run executes the program's main function with the given arguments and
-// returns its value. Run may be called once per engine: only a Run that
-// passes validation consumes the engine, so a call rejected for a missing
-// main or an argument-count mismatch can be corrected and retried.
+// returns its value. A run that passes validation consumes the engine until
+// Reset is called, so a call rejected for a missing main or an
+// argument-count mismatch can be corrected and retried.
 func (e *Engine) Run(args ...value.Value) (value.Value, error) {
 	return e.RunContext(context.Background(), args...)
+}
+
+// Runs returns the engine's run-generation counter: the number of completed
+// executions (successful or failed) this engine has performed.
+func (e *Engine) Runs() int64 { return e.gen.Load() }
+
+// Reset returns a finished engine to runnable for the next execution of the
+// same program. Per-run mutable state — statistics, the timing log and
+// trace, the failure record, the result, fault-plan cursors — is cleared;
+// per-program immutable state and every warmed allocation survive: the
+// activation pools, the per-worker block free lists, the work-stealing
+// scheduler's deques and parkers, and (under RunMany) the worker goroutines
+// themselves. Reset on a fresh or validation-rejected engine is a no-op;
+// Reset while a run is in flight returns ErrEngineRunning.
+func (e *Engine) Reset() error {
+	switch e.state.Load() {
+	case engRunning:
+		return ErrEngineRunning
+	case engIdle:
+		return nil
+	}
+	e.stats.reset()
+	if e.cfg.Timing {
+		e.timing = NewTimingLog()
+		e.timing.initShards(e.cfg.workers())
+	}
+	if e.cfg.Trace {
+		e.tracer = newTracer(e.cfg.Mode, e.cfg.workers())
+	}
+	e.failMu.Lock()
+	e.failedRun = false
+	e.runErr = nil
+	e.failedAct = nil
+	e.failMu.Unlock()
+	e.rootAct = nil
+	e.stopped.Store(false)
+	e.result.Store(resultBox{})
+	e.runCtx = nil
+	e.ctxDone = nil
+	e.outstanding.Store(0)
+	// A stateful fault plan keeps execution cursors; rewinding them here
+	// makes a seeded fault suite behave identically on every run of a
+	// reused engine.
+	if e.cfg.Faults != nil {
+		e.cfg.Faults.Reset()
+	}
+	e.state.Store(engIdle)
+	return nil
+}
+
+// scheduler returns the engine's work-stealing scheduler, creating it on
+// the first multi-worker run and reopening the cached one after that — a
+// reused engine pays the deque and parker allocations exactly once.
+func (e *Engine) scheduler(workers int) *stealScheduler {
+	if e.sched == nil {
+		e.sched = newStealScheduler(workers, &e.stats, e.tracer)
+		return e.sched
+	}
+	e.sched.reopen(e.tracer)
+	return e.sched
 }
 
 // RunContext is Run under a context: cancellation (or the context deadline)
@@ -284,7 +393,10 @@ func (e *Engine) RunContext(ctx context.Context, args ...value.Value) (value.Val
 	if err := ctx.Err(); err != nil {
 		return nil, &RunError{Kind: FailCanceled, Err: err}
 	}
-	if !e.started.CompareAndSwap(false, true) {
+	if !e.state.CompareAndSwap(engIdle, engRunning) {
+		if e.state.Load() == engRunning {
+			return nil, ErrEngineRunning
+		}
 		return nil, ErrAlreadyRun
 	}
 	e.runCtx = ctx
@@ -319,13 +431,16 @@ func (e *Engine) fail(err error) { e.failAt(nil, err) }
 
 // failAt records the first error plus the activation it occurred in (for
 // the error-path teardown sweep) and stops the run. Later errors are
-// dropped: the first failure wins, matching the errOnce contract.
+// dropped: the first failure wins.
 func (e *Engine) failAt(a *activation, err error) {
-	e.errOnce.Do(func() {
+	e.failMu.Lock()
+	if !e.failedRun {
+		e.failedRun = true
 		e.runErr = err
 		e.failedAct = a
 		e.stopped.Store(true)
-	})
+	}
+	e.failMu.Unlock()
 }
 
 // finish records the final result.
@@ -333,7 +448,7 @@ func (e *Engine) finish(v value.Value) {
 	if v == nil {
 		v = value.Null{}
 	}
-	e.result.Store(v)
+	e.result.Store(resultBox{v})
 	e.stopped.Store(true)
 }
 

@@ -830,8 +830,8 @@ func (e *Engine) cleanupAfterError(pending []*task) {
 	}
 	sweep(e.failedAct)
 	sweep(e.rootAct)
-	if v, ok := e.result.Load().(value.Value); ok {
-		value.Release(v, &e.stats.Blocks)
+	if box, ok := e.result.Load().(resultBox); ok && box.v != nil {
+		value.Release(box.v, &e.stats.Blocks)
 	}
 }
 

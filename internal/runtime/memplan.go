@@ -22,6 +22,10 @@ type memState struct {
 	elidedRetains  int64
 	elidedReleases int64
 	copiesAvoided  int64
+	// hitsMerged is the pool hit count already folded into Stats by earlier
+	// runs of this engine; mergeMemStats reports deltas against it so the
+	// free lists can persist across runs without double-counting.
+	hitsMerged int64
 
 	// Scratch for settlePlanned, reused across node executions.
 	inScratch  []*value.Block
@@ -43,7 +47,11 @@ func (e *Engine) memState(proc int) *memState {
 }
 
 // mergeMemStats folds every worker's plan counters into Stats; called once,
-// single-threaded, after the run has quiesced.
+// single-threaded, after the run has quiesced. The states themselves — and
+// the warmed block free lists inside them — survive for the next run of a
+// reused engine, so only this run's deltas are folded: the plain counters
+// are zeroed after merging, and the pool's cumulative hit counter is
+// baselined in hitsMerged.
 func (e *Engine) mergeMemStats() {
 	for _, m := range e.memStates {
 		if m == nil {
@@ -51,10 +59,11 @@ func (e *Engine) mergeMemStats() {
 		}
 		atomic.AddInt64(&e.stats.ElidedRetains, m.elidedRetains)
 		atomic.AddInt64(&e.stats.ElidedReleases, m.elidedReleases)
-		atomic.AddInt64(&e.stats.PooledAllocs, m.pool.Hits())
+		atomic.AddInt64(&e.stats.PooledAllocs, m.pool.Hits()-m.hitsMerged)
 		atomic.AddInt64(&e.stats.CopiesAvoided, m.copiesAvoided)
+		m.elidedRetains, m.elidedReleases, m.copiesAvoided = 0, 0, 0
+		m.hitsMerged = m.pool.Hits()
 	}
-	e.memStates = nil
 }
 
 // releaseDying drops the last graph reference to a value that the plan (or

@@ -3,7 +3,6 @@ package runtime
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -32,11 +31,10 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	if e.tracer != nil {
 		e.tracer.now = func() int64 { return int64(time.Since(start)) }
 	}
-	s := newStealScheduler(nw, &e.stats, e.tracer)
-	var outstanding int64
+	s := e.scheduler(nw)
 
 	bootSched := func(a *activation, n *graph.Node) {
-		atomic.AddInt64(&outstanding, 1)
+		e.outstanding.Add(1)
 		if e.tracer != nil {
 			e.tracer.record(-1, TraceEvent{Type: TraceInject, Ts: e.tracer.now(),
 				Act: a.seq, Node: int32(n.ID), Name: traceLabel(n), Tmpl: a.tmpl.Name})
@@ -52,7 +50,7 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 	boot := &worker{e: e, proc: -1, sched: bootSched, tr: e.tracer, mem: e.memState(-1)}
 	e.initActivation(boot, root, args)
 
-	if atomic.LoadInt64(&outstanding) == 0 {
+	if e.outstanding.Load() == 0 {
 		// The whole program evaluated during seeding (constant main) or
 		// nothing is runnable at all. The second case is the same
 		// quiescence-without-result failure the worker loop detects.
@@ -90,82 +88,97 @@ func (e *Engine) runReal(args []value.Value) (value.Value, error) {
 		}
 	}
 
-	var wg sync.WaitGroup
-	for proc := 0; proc < nw; proc++ {
-		wg.Add(1)
-		go func(proc int) {
-			defer wg.Done()
-			w := &worker{e: e, proc: proc, tr: e.tracer, mem: e.memState(proc), base: start, lifo: true}
-			w.sched = func(a *activation, n *graph.Node) {
-				atomic.AddInt64(&outstanding, 1)
-				s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
-			}
-			for {
-				if s.closed.Load() {
-					return
-				}
-				t := s.spinFind(proc)
-				if t == nil {
-					if s.closed.Load() {
-						return
-					}
-					s.park(proc)
-					continue
-				}
-				var t0 time.Time
-				if e.timing != nil || e.tracer != nil {
-					t0 = time.Now()
-				}
-				// Capture the activation identity before execNode: the last
-				// node of an activation recycles it, and a pool reuse (even
-				// inside this very execNode, via a recursive expansion)
-				// restamps seq.
-				actSeq, nodeID := t.act.seq, int32(t.node.ID)
-				if e.tracer != nil {
-					e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
-						Act: actSeq, Node: nodeID, Name: dispatchLabel(t.node), Tmpl: t.act.tmpl.Name})
-				}
-				err := e.execNode(w, t.act, t.node)
-				if e.tracer != nil {
-					e.tracer.record(proc, TraceEvent{Type: TraceNodeEnd, Ts: int64(time.Since(start)),
-						Act: actSeq, Node: nodeID})
-				}
-				if err != nil {
-					e.failAt(t.act, err)
-					s.close()
-					return
-				}
-				// Fused dispatches record their own per-member entries, so the
-				// executor-level entry (which would bill the whole supernode
-				// to the head operator) is suppressed for them.
-				if e.timing != nil && t.node.Kind == graph.OpNode && t.node.FuseCluster == nil {
-					e.timing.addShard(proc, TimingEntry{
-						Name:     t.node.Name,
-						Template: t.act.tmpl.Name,
-						Proc:     proc,
-						Start:    int64(t0.Sub(start)),
-						Ticks:    int64(time.Since(t0)),
-					})
-				}
-				if atomic.AddInt64(&outstanding, -1) == 0 {
-					if !e.stopped.Load() {
-						// The root is still live (it never produced a
-						// result), so its path names the stuck entry point.
-						e.failAt(e.rootAct, errDeadlock(activationPath(e.rootAct)))
-					}
-					s.close()
-					return
-				}
-			}
-		}(proc)
+	if e.pool != nil {
+		// RunMany installed a persistent pool: the worker goroutines already
+		// exist, parked between runs. Hand them the run start and rendezvous
+		// at quiescence — no spawn, no join.
+		e.pool.runRound(start)
+	} else {
+		var wg sync.WaitGroup
+		for proc := 0; proc < nw; proc++ {
+			wg.Add(1)
+			go func(proc int) {
+				defer wg.Done()
+				e.workerLoop(proc, s, start)
+			}(proc)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	stopWatcher()
 	e.stats.RealNanos = int64(time.Since(start))
 	if e.runErr != nil {
 		e.cleanupAfterError(s.drain())
 	}
 	return e.takeResult()
+}
+
+// workerLoop is one worker's dispatch loop for one run: scan, steal, park,
+// execute, until the run closes the scheduler (quiescence, error, or
+// cancellation). It runs either on a per-run goroutine (plain Run) or on a
+// persistent pool goroutine that survives across runs (RunMany).
+func (e *Engine) workerLoop(proc int, s *stealScheduler, start time.Time) {
+	w := &worker{e: e, proc: proc, tr: e.tracer, mem: e.memState(proc), base: start, lifo: true}
+	w.sched = func(a *activation, n *graph.Node) {
+		e.outstanding.Add(1)
+		s.pushLocal(proc, &task{act: a, node: n}, e.classify(a, n))
+	}
+	for {
+		if s.closed.Load() {
+			return
+		}
+		t := s.spinFind(proc)
+		if t == nil {
+			if s.closed.Load() {
+				return
+			}
+			s.park(proc)
+			continue
+		}
+		var t0 time.Time
+		if e.timing != nil || e.tracer != nil {
+			t0 = time.Now()
+		}
+		// Capture the activation identity before execNode: the last
+		// node of an activation recycles it, and a pool reuse (even
+		// inside this very execNode, via a recursive expansion)
+		// restamps seq.
+		actSeq, nodeID := t.act.seq, int32(t.node.ID)
+		if e.tracer != nil {
+			e.tracer.record(proc, TraceEvent{Type: TraceNodeStart, Ts: int64(t0.Sub(start)),
+				Act: actSeq, Node: nodeID, Name: dispatchLabel(t.node), Tmpl: t.act.tmpl.Name})
+		}
+		err := e.execNode(w, t.act, t.node)
+		if e.tracer != nil {
+			e.tracer.record(proc, TraceEvent{Type: TraceNodeEnd, Ts: int64(time.Since(start)),
+				Act: actSeq, Node: nodeID})
+		}
+		if err != nil {
+			e.failAt(t.act, err)
+			s.close()
+			return
+		}
+		// Fused dispatches record their own per-member entries, so the
+		// executor-level entry (which would bill the whole supernode
+		// to the head operator) is suppressed for them.
+		if e.timing != nil && t.node.Kind == graph.OpNode && t.node.FuseCluster == nil {
+			e.timing.addShard(proc, TimingEntry{
+				Name:     t.node.Name,
+				Template: t.act.tmpl.Name,
+				Proc:     proc,
+				Start:    int64(t0.Sub(start)),
+				Ticks:    int64(time.Since(t0)),
+			})
+		}
+		if e.outstanding.Add(-1) == 0 {
+			if !e.stopped.Load() {
+				// The root is still live (it never produced a
+				// result), so its path names the stuck entry point.
+				e.failAt(e.rootAct, errDeadlock(activationPath(e.rootAct)))
+			}
+			s.close()
+			return
+		}
+	}
 }
 
 // runRealSerial is the one-worker executor: same semantics, but the ready
@@ -235,17 +248,20 @@ func (e *Engine) runRealSerial(args []value.Value) (value.Value, error) {
 
 // takeResult extracts the final value or error after a run ends. The run
 // has quiesced by now, so this is also where per-worker memory-plan
-// counters merge into Stats.
+// counters merge into Stats and where the engine advances to engFinished,
+// bumping the run-generation counter (both executors end here).
 func (e *Engine) takeResult() (value.Value, error) {
 	if e.memStates != nil {
 		e.mergeMemStats()
 	}
+	e.gen.Add(1)
+	e.state.Store(engFinished)
 	if e.runErr != nil {
 		return nil, e.runErr
 	}
-	v, _ := e.result.Load().(value.Value)
-	if v == nil {
+	box, _ := e.result.Load().(resultBox)
+	if box.v == nil {
 		return nil, fmt.Errorf("delirium: program produced no result")
 	}
-	return v, nil
+	return box.v, nil
 }

@@ -93,6 +93,31 @@ type Stats struct {
 	RealNanos int64
 }
 
+// reset zeroes every counter for the next run of a reused engine. Stores are
+// atomic: an operator that timed out under Config.OpTimeout may have left an
+// abandoned shadow goroutine behind, and although its results are discarded
+// it can still touch the block counters until it unwinds.
+func (s *Stats) reset() {
+	for _, p := range []*int64{
+		&s.OpsExecuted, &s.OperatorsRun,
+		&s.ActivationsAllocated, &s.ActivationsReused,
+		&s.LiveActivations, &s.PeakLive,
+		&s.LiveActivationWords, &s.PeakActivationWords,
+		&s.TailCalls, &s.ChargedUnits,
+		&s.Steals, &s.StealContention, &s.Parks, &s.InjectedTasks,
+		&s.Blocks.Allocated, &s.Blocks.Copies, &s.Blocks.Retains,
+		&s.Blocks.Releases, &s.Blocks.Freed,
+		&s.Retries, &s.SnapshotCopies, &s.OpTimeouts, &s.FaultsInjected,
+		&s.ElidedRetains, &s.ElidedReleases, &s.PooledAllocs, &s.CopiesAvoided,
+		&s.FusedNodes, &s.FusedDispatchesSaved,
+		&s.MakespanTicks, &s.BusyTicks, &s.DispatchTicks, &s.MemoryTicks,
+		&s.RealNanos,
+	} {
+		atomic.StoreInt64(p, 0)
+	}
+	s.ProcBusyTicks = nil
+}
+
 // noteLive bumps the live-activation gauges and refreshes the peaks.
 func (s *Stats) noteLive(delta, words int64) {
 	live := atomic.AddInt64(&s.LiveActivations, delta)

@@ -435,6 +435,27 @@ func (s *stealScheduler) drain() []*task {
 	return out
 }
 
+// reopen readies the scheduler for another run of a reused engine: the
+// deques, injectors, parkers, and idle stack all survive (the deques are
+// empty at quiescence and drained on the error path), so only the closed
+// flag and the tracer binding need refreshing. Stray parker tokens left by
+// the close broadcast are swallowed here — a leftover token would merely
+// cost one spurious rescan, but consuming it keeps park accounting exact.
+func (s *stealScheduler) reopen(tr *tracer) {
+	s.closed.Store(false)
+	s.tr = tr
+	s.idleMu.Lock()
+	s.idle = s.idle[:0]
+	s.nidle.Store(0)
+	s.idleMu.Unlock()
+	for w := range s.parkers {
+		select {
+		case <-s.parkers[w].ch:
+		default:
+		}
+	}
+}
+
 // close marks the run over and wakes every parked worker. Called at
 // quiescence and on error abort; queued tasks are abandoned by design.
 func (s *stealScheduler) close() {
