@@ -38,6 +38,7 @@ import (
 	"repro/internal/retina"
 	rt "repro/internal/runtime"
 	"repro/internal/selfcomp"
+	"repro/internal/stress"
 	"repro/internal/treewalk"
 	"repro/internal/value"
 )
@@ -506,4 +507,61 @@ func BenchmarkRunThroughputReused(b *testing.B) {
 		}
 		done += n
 	}
+}
+
+// stressProgram compiles one seeded stress program at the given scale.
+func stressProgram(b *testing.B, funcs int, fuse, memplan bool) *graph.Program {
+	b.Helper()
+	src := stress.Generate(stress.GenConfig{Funcs: funcs, Seed: 1990})
+	res, err := compile.Compile("stress.dlr", src, compile.Options{
+		Registry: stress.Operators(), Fuse: fuse, MemPlan: memplan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Program
+}
+
+// BenchmarkStressGenerate measures generating plus compiling a 10k-node
+// class irregular graph — the compiler-side cost of the stress harness.
+func BenchmarkStressGenerate(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		prog := stressProgram(b, 600, false, false)
+		nodes = 0
+		for _, t := range prog.Templates {
+			nodes += len(t.Nodes)
+		}
+	}
+	b.ReportMetric(float64(nodes), "graph_nodes")
+}
+
+// BenchmarkStressRun measures executing one mid-size stress program on the
+// real executor with both optimization passes on — the per-seed runtime
+// cost that dominates a stress sweep.
+func BenchmarkStressRun(b *testing.B) {
+	prog := stressProgram(b, 64, true, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := rt.New(prog, rt.Config{Mode: rt.Real, Workers: 4, MaxOps: 50_000_000})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStressOracle measures one seed's full trip through the
+// differential matrix (every compile variant × every run spec) — the
+// end-to-end unit the nightly job multiplies by its seed count.
+func BenchmarkStressOracle(b *testing.B) {
+	p := stress.NewProgram(stress.GenConfig{Funcs: 24, Seed: 1990})
+	src := p.Source()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		rep := stress.CheckSource("stress.dlr", src, stress.Specs())
+		if !rep.OK() {
+			b.Fatalf("oracle failure: %s", rep.Failures[0])
+		}
+		runs = rep.Runs
+	}
+	b.ReportMetric(float64(runs), "oracle_runs")
 }

@@ -7,10 +7,12 @@
 //	delx -list            list experiment ids
 //
 // Experiments: fig1, tab1, tab1wall, tab2, lst1, lst2, ovh, prio, aff,
-// mem, opt, walks, queens, faults, thru.
+// mem, opt, walks, queens, faults, thru, stress.
 //
 // The faults experiment takes -retries (retry attempts per operator) and
-// -timeout (per-operator execution bound; 0 for none).
+// -timeout (per-operator execution bound; 0 for none). The stress
+// experiment takes -seeds (random programs pushed through the full
+// differential oracle matrix).
 package main
 
 import (
@@ -30,7 +32,7 @@ type experiment struct {
 	run  func() (string, error)
 }
 
-func all(opTimeout time.Duration, retries int) []experiment {
+func all(opTimeout time.Duration, retries, seeds int) []experiment {
 	return []experiment{
 		{"fig1", "Figure 1: retina speedup, simulated Cray Y-MP, 1-4 procs",
 			experiments.Fig1Text},
@@ -70,6 +72,8 @@ func all(opTimeout time.Duration, retries int) []experiment {
 			func() (string, error) { return experiments.FaultsText(opTimeout, retries) }},
 		{"thru", "throughput mode: reused engine (RunMany) vs fresh engine per run",
 			func() (string, error) { return experiments.ThroughputText(200) }},
+		{"stress", "differential stress: random graphs through the cross-executor oracle matrix",
+			func() (string, error) { return experiments.StressText(seeds) }},
 	}
 }
 
@@ -77,9 +81,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	opTimeout := flag.Duration("timeout", 0, "per-operator execution bound for the faults experiment (0 = none)")
 	retries := flag.Int("retries", 3, "retry attempts per operator for the faults experiment")
+	seeds := flag.Int("seeds", 25, "random programs for the stress experiment")
 	flag.Parse()
 
-	exps := all(*opTimeout, *retries)
+	exps := all(*opTimeout, *retries, *seeds)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-9s %s\n", e.id, e.desc)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ray"
 	"repro/internal/retina"
 	"repro/internal/runtime"
+	"repro/internal/stress"
 	"repro/internal/value"
 )
 
@@ -57,8 +58,10 @@ func Registry(app string) (*operator.Registry, error) {
 		return ray.Operators(ray.DefaultConfig())
 	case "circuit":
 		return circuit.Operators(circuit.DefaultConfig())
+	case "stress":
+		return stress.Operators(), nil
 	default:
-		return nil, fmt.Errorf("unknown -app %q (want builtins, queens, retina, ray, or circuit)", app)
+		return nil, fmt.Errorf("unknown -app %q (want builtins, queens, retina, ray, circuit, or stress)", app)
 	}
 }
 

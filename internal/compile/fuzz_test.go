@@ -38,6 +38,15 @@ func FuzzCompile(f *testing.F) {
 		"main(" + strings.Repeat("x,", 50) + "y) y",
 		"main() " + strings.Repeat("incr(", 100) + "1" + strings.Repeat(")", 100),
 	}
+	// Generator-derived corpus entries give the fuzzer structurally valid
+	// programs to mutate from — much deeper pipeline coverage than
+	// hand-written snippets alone.
+	seeds = append(seeds,
+		Generate(4, 1),
+		Generate(8, 3),
+		Generate(16, 99),
+		Generate(32, -5),
+	)
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -56,6 +65,29 @@ func FuzzCompile(f *testing.F) {
 		v, err := eng.Run()
 		if err == nil && v == nil {
 			t.Fatal("nil result without error")
+		}
+	})
+}
+
+// FuzzGenerate asserts Generate's contract directly: at arbitrary
+// (nFuncs, seed) — negative, zero, huge — the output always compiles
+// cleanly. Compile-only, so the fuzzer can sweep function counts far
+// beyond what the compile-and-run target affords.
+func FuzzGenerate(f *testing.F) {
+	f.Add(0, int64(0))
+	f.Add(-3, int64(-1))
+	f.Add(100, int64(7))
+	f.Add(1 << 20, int64(42))
+	f.Fuzz(func(t *testing.T, nFuncs int, seed int64) {
+		// Bound only the work, not the input domain: fold huge requests
+		// into a still-large range so fuzz iterations stay fast.
+		n := nFuncs
+		if n > 512 || n < -512 {
+			n = int(int64(n)%512 + 512)
+		}
+		src := Generate(n, seed)
+		if _, err := Compile("gen.dlr", src, Options{}); err != nil {
+			t.Fatalf("Generate(%d, %d) does not compile: %v", n, seed, err)
 		}
 	})
 }

@@ -67,7 +67,7 @@ func genTiny(b *strings.Builder, i int, rng *rand.Rand) {
 // genArith emits a straight-line function with CSE and folding fodder.
 func genArith(b *strings.Builder, i int, rng *rand.Rand) {
 	c1, c2 := rng.Intn(9)+1, rng.Intn(9)+1
-	callee := callTo(i-rng.Intn(minInt(i, 3)+1)-1, "a", "b")
+	callee := callTo(i-rng.Intn(min(i, 3)+1)-1, "a", "b")
 	fmt.Fprintf(b, `%s(p, q)
   let a = add(mul(p, %d), BIAS)
       b = add(mul(p, %d), q)
@@ -105,11 +105,4 @@ func genLoopy(b *strings.Builder, i int, rng *rand.Rand) {
      result acc
 
 `, fname(i), step)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -15,6 +15,9 @@
 //	       retried, output bit-identical to the fault-free run
 //	thru   throughput mode: fresh engine per run vs one reused engine
 //	       (RunMany), results bit-identical, reuse speedup reported
+//	stress differential stress harness: seeded random coordination graphs
+//	       through the executor × workers × fuse×memplan × reuse × faults
+//	       matrix, bit-identity and block accounting on every run
 //
 // Absolute numbers depend on the host and the virtual-machine calibration;
 // the experiments reproduce the paper's *shapes*: who wins, by roughly what
@@ -34,6 +37,7 @@ import (
 	"repro/internal/retina"
 	"repro/internal/runtime"
 	"repro/internal/selfcomp"
+	"repro/internal/stress"
 	"repro/internal/treewalk"
 	"repro/internal/value"
 )
@@ -679,6 +683,63 @@ func ThroughputText(runs int) (string, error) {
 		return "", fmt.Errorf("throughput: %d of %d reused results diverged from the fresh baseline",
 			runs-identical, runs)
 	}
+	return b.String(), nil
+}
+
+// StressText drives the differential stress harness: seeds random
+// coordination graphs through the full oracle matrix (4 compile variants
+// × 9 run specs per seed), plus one large-graph seed at the ROADMAP's
+// 10k-node floor, and reports bit-identity and invariant status. Any
+// failing seed is shrunk automatically and the repro saved under
+// testdata/regressions/.
+func StressText(seeds int) (string, error) {
+	if seeds <= 0 {
+		seeds = 25
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Differential stress: %d seeds x %d compile variants x %d run specs\n\n",
+		seeds, len(stress.Variants()), len(stress.Specs()))
+	fmt.Fprintf(&b, "%-8s %8s %8s  %s\n", "seed", "runs", "fails", "status")
+	totalRuns, failedSeeds := 0, 0
+	var totalFaults int64
+	for seed := 0; seed < seeds; seed++ {
+		p := stress.NewProgram(stress.GenConfig{Funcs: 32, Seed: int64(seed)})
+		rep := stress.CheckProgram(p)
+		totalRuns += rep.Runs
+		totalFaults += rep.FaultsInjected
+		status := "ok: bit-identical, Allocated==Freed"
+		if !rep.OK() {
+			failedSeeds++
+			status = rep.Failures[0].String()
+			shrunk, msg := stress.Shrink(p, stress.OracleCheck)
+			if path, werr := stress.WriteRepro("testdata/regressions", shrunk, msg); werr == nil {
+				status += " (shrunk repro: " + path + ")"
+			}
+		}
+		fmt.Fprintf(&b, "%-8d %8d %8d  %s\n", seed, rep.Runs, len(rep.Failures), status)
+	}
+
+	// One large irregular graph (ROADMAP item 5's 10k-node floor) through
+	// a reduced spec set to keep wall time sane.
+	large := stress.NewProgram(stress.GenConfig{Funcs: 600, Seed: 1990})
+	rep := stress.CheckSource("stress-large.dlr", large.Source(), stress.Specs()[:5])
+	totalRuns += rep.Runs
+	fmt.Fprintf(&b, "%-8s %8d %8d  600 funcs (>=10k graph nodes), executor/worker sweep\n",
+		"large", rep.Runs, len(rep.Failures))
+	if !rep.OK() {
+		failedSeeds++
+	}
+
+	fmt.Fprintf(&b, "\n%d runs compared; every run checked for bit-identity against its seed's\n"+
+		"reference and for block accounting (Allocated == Freed); %d faults injected\n"+
+		"and retried across the fault legs\n", totalRuns, totalFaults)
+	if failedSeeds > 0 {
+		return b.String(), fmt.Errorf("stress: %d seed(s) failed the oracle", failedSeeds)
+	}
+	if totalFaults == 0 {
+		return b.String(), fmt.Errorf("stress: fault legs never injected a fault — harness mis-wired")
+	}
+	b.WriteString("all seeds passed\n")
 	return b.String(), nil
 }
 

@@ -2,6 +2,8 @@ package opt
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/ast"
@@ -21,7 +23,43 @@ import (
 // division by zero) that the original program avoided.
 func cseExpr(info *sema.Info, e ast.Expr, fname string, round int, st *Stats) ast.Expr {
 	c := &cser{info: info, fname: fname, round: round, st: st}
+	// The optimizer may run the local fixpoint more than once over the
+	// same body (the level-2 pipeline re-optimizes after inlining, with
+	// round restarting at 0). Seed the ID counter past every cse binder
+	// already present so regenerated names can never collide with a
+	// surviving earlier binder — a collision breaks the alpha-renaming
+	// invariant graph conversion depends on.
+	c.nextID = maxCSEID(e, fname)
 	return c.rewrite(e)
+}
+
+// maxCSEID returns the largest trailing ID of any cse$fname$… binder in
+// the tree (0 when none exist).
+func maxCSEID(e ast.Expr, fname string) int {
+	prefix := "cse$" + fname + "$"
+	max := 0
+	ast.Walk(e, func(x ast.Expr) bool {
+		let, ok := x.(*ast.Let)
+		if !ok {
+			return true
+		}
+		for _, b := range let.Binds {
+			for _, name := range b.Names {
+				rest, ok := strings.CutPrefix(name, prefix)
+				if !ok {
+					continue
+				}
+				if i := strings.LastIndexByte(rest, '$'); i >= 0 {
+					rest = rest[i+1:]
+				}
+				if id, err := strconv.Atoi(rest); err == nil && id > max {
+					max = id
+				}
+			}
+		}
+		return true
+	})
+	return max
 }
 
 type cser struct {
@@ -192,7 +230,13 @@ func (c *cser) replaceRegion(e ast.Expr, replace func(ast.Expr) (ast.Expr, bool)
 		if r, done := replace(x); done {
 			return r
 		}
-		nc := &ast.Call{P: x.P, Fun: x.Fun, Tail: x.Tail}
+		// The callee expression evaluates eagerly too — recurse into it,
+		// mirroring countRegion. Skipping it would leave counted
+		// occurrences (e.g. the test of a first-class conditional select
+		// in function position) permanently irreplaceable, and the
+		// fixpoint would mint a fresh alias bind for the same expression
+		// every round instead of converging.
+		nc := &ast.Call{P: x.P, Fun: c.replaceRegion(x.Fun, replace), Tail: x.Tail}
 		for _, a := range x.Args {
 			nc.Args = append(nc.Args, c.replaceRegion(a, replace))
 		}

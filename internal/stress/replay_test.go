@@ -1,0 +1,48 @@
+package stress
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegressionReplay recompiles and differentially re-runs every
+// shrunk repro under testdata/regressions/ through the full oracle
+// matrix. Committed repros capture bugs that have since been fixed, so
+// each must now pass — a reappearing failure means the original bug
+// regressed.
+func TestRegressionReplay(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "regressions")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("no regressions directory")
+		}
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".dlr" {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := CheckSource(name, string(data), Specs())
+			for _, f := range rep.Failures {
+				t.Errorf("%s", f)
+			}
+			if rep.Runs == 0 {
+				t.Error("no runs recorded")
+			}
+		})
+	}
+	if ran == 0 {
+		t.Log("regressions directory holds no .dlr repros yet")
+	}
+}

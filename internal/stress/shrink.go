@@ -1,0 +1,238 @@
+package stress
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// CheckFn reports whether a program still fails: it returns a non-empty
+// failure description and true when the bug reproduces. The shrinker
+// only keeps an edit when the failure survives it.
+type CheckFn func(p *Program) (string, bool)
+
+// OracleCheck adapts the differential oracle into a shrink predicate.
+func OracleCheck(p *Program) (string, bool) {
+	rep := CheckProgram(p)
+	if rep.OK() {
+		return "", false
+	}
+	return rep.Failures[0].String(), true
+}
+
+var identRE = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+
+// referenced collects every identifier appearing in the program's
+// initializers and results, so unreferenced functions can be dropped.
+func referenced(p *Program) map[string]bool {
+	refs := make(map[string]bool)
+	scan := func(f *Fn) {
+		for _, b := range f.Binds {
+			for _, id := range identRE.FindAllString(b.Init, -1) {
+				refs[id] = true
+			}
+		}
+		for _, id := range identRE.FindAllString(f.Result, -1) {
+			refs[id] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		scan(f)
+	}
+	scan(p.Main)
+	return refs
+}
+
+// namesUsedAfter reports whether any of bind i's names appear in a later
+// initializer or the result of f.
+func namesUsedAfter(f *Fn, i int) bool {
+	rest := make([]string, 0, len(f.Binds)-i)
+	for _, b := range f.Binds[i+1:] {
+		rest = append(rest, b.Init)
+	}
+	rest = append(rest, f.Result)
+	text := strings.Join(rest, "\n")
+	ids := make(map[string]bool)
+	for _, id := range identRE.FindAllString(text, -1) {
+		ids[id] = true
+	}
+	for _, n := range f.Binds[i].Names {
+		if ids[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// neutralInit returns the simplest initializer preserving bind b's shape.
+func neutralInit(b *Bind) string {
+	if b.IsFn {
+		// Keep the nested definition's header, neutralize its body.
+		if idx := strings.IndexByte(b.Init, ')'); idx >= 0 {
+			return b.Init[:idx+1] + " 1"
+		}
+	}
+	if len(b.Names) > 1 {
+		parts := make([]string, len(b.Names))
+		for i, k := range b.Kinds {
+			if k == kBlock {
+				parts[i] = "st_cell(1)"
+			} else {
+				parts[i] = "1"
+			}
+		}
+		return "<" + strings.Join(parts, ", ") + ">"
+	}
+	if len(b.Kinds) > 0 && b.Kinds[0] == kBlock {
+		return "st_cell(1)"
+	}
+	return "1"
+}
+
+// Shrink minimizes a failing program while check keeps reproducing the
+// failure, delta-debugging style: stub whole function bodies to their
+// neutral form, drop functions nothing references, delete or neutralize
+// individual bindings, and simplify results — greedily to a fixpoint.
+// Returns the minimized program and the failure message it still
+// produces.
+func Shrink(p *Program, check CheckFn) (*Program, string) {
+	msg, ok := check(p)
+	if !ok {
+		return p, ""
+	}
+	cur := p.clone()
+
+	// attempt applies edit to a scratch copy and keeps it if the failure
+	// survives.
+	attempt := func(edit func(*Program) bool) bool {
+		scratch := cur.clone()
+		if !edit(scratch) {
+			return false
+		}
+		if m, still := check(scratch); still {
+			cur, msg = scratch, m
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: stub whole function bodies.
+		for i := 0; i < len(cur.Funcs); i++ {
+			i := i
+			f := cur.Funcs[i]
+			if len(f.Binds) == 0 && f.Result == f.Sig.neutral() {
+				continue
+			}
+			if attempt(func(s *Program) bool {
+				s.Funcs[i].Binds = nil
+				s.Funcs[i].Result = s.Funcs[i].Sig.neutral()
+				return true
+			}) {
+				changed = true
+			}
+		}
+
+		// Pass 2: drop functions nothing references.
+		for {
+			refs := referenced(cur)
+			victim := -1
+			for i, f := range cur.Funcs {
+				if !refs[f.Name] {
+					victim = i
+					break
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			if !attempt(func(s *Program) bool {
+				s.Funcs = append(s.Funcs[:victim:victim], s.Funcs[victim+1:]...)
+				return true
+			}) {
+				break
+			}
+			changed = true
+		}
+
+		// Pass 3: per-binding edits, main first (failures usually live on
+		// the call path from main). Function count is stable within this
+		// pass, so fi indexes consistently even as attempt swaps cur; the
+		// current function is always re-fetched from cur after edits.
+		for fi := 0; fi <= len(cur.Funcs); fi++ {
+			fi := fi
+			get := func(s *Program) *Fn {
+				if fi == 0 {
+					return s.Main
+				}
+				return s.Funcs[fi-1]
+			}
+			for bi := len(get(cur).Binds) - 1; bi >= 0; bi-- {
+				bi := bi
+				if bi >= len(get(cur).Binds) {
+					continue
+				}
+				// Delete the binding outright when nothing later uses it.
+				if !namesUsedAfter(get(cur), bi) {
+					if attempt(func(s *Program) bool {
+						f := get(s)
+						f.Binds = append(f.Binds[:bi:bi], f.Binds[bi+1:]...)
+						return true
+					}) {
+						changed = true
+						continue
+					}
+				}
+				// Otherwise neutralize its initializer.
+				b := get(cur).Binds[bi]
+				if n := neutralInit(b); b.Init != n {
+					if attempt(func(s *Program) bool {
+						get(s).Binds[bi].Init = n
+						return true
+					}) {
+						changed = true
+					}
+				}
+			}
+			// Simplify the result to its neutral form.
+			if n := get(cur).Sig.neutral(); get(cur).Result != n {
+				if attempt(func(s *Program) bool {
+					f := get(s)
+					f.Result = f.Sig.neutral()
+					return true
+				}) {
+					changed = true
+				}
+			}
+		}
+	}
+	return cur, msg
+}
+
+// WriteRepro saves a shrunk failing program under dir (creating it) as a
+// standalone .dlr file whose header comments record the config and the
+// failure, and returns the file path. The replay test recompiles and
+// re-runs everything in the directory, so a caught bug permanently gates
+// future changes once the file is committed.
+func WriteRepro(dir string, p *Program, failure string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- shrunk stress repro: funcs=%d seed=%d budget=%d\n",
+		p.Cfg.Funcs, p.Cfg.Seed, p.Cfg.CostBudget)
+	for _, line := range strings.Split(strings.TrimSpace(failure), "\n") {
+		fmt.Fprintf(&b, "-- failure: %s\n", line)
+	}
+	b.WriteString("\n")
+	b.WriteString(p.Source())
+	name := filepath.Join(dir, fmt.Sprintf("stress_seed%d.dlr", p.Cfg.Seed))
+	if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}
