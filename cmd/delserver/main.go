@@ -1,0 +1,147 @@
+// Command delserver runs the Delirium coordination service: registered
+// programs compile once and serve many runs over an HTTP/JSON API from
+// pools of reusable engines, behind bounded admission with load shedding,
+// per-run deadlines and operator budgets, Prometheus-style metrics, and
+// graceful drain on SIGINT/SIGTERM.
+//
+//	delserver -addr :8080 -programs jacobi,queens6
+//
+// Endpoints: GET /healthz, GET /readyz, GET /metrics, GET /programs,
+// POST /programs, POST /run/{name}. See docs/SERVER.md for the API.
+//
+// The process exits 0 after a clean drain; it exits 1 if any run violated
+// the Allocated==Freed block invariant — leaks are a deploy-blocking
+// failure, not a log line.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+type options struct {
+	addr          string
+	programs      string
+	workers       int
+	maxConcurrent int
+	queueDepth    int
+	timeout       time.Duration
+	maxTimeout    time.Duration
+	maxOps        int64
+	drainTimeout  time.Duration
+	poolIdle      int
+	chaosSeed     int64
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("delserver", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.programs, "programs", "jacobi,queens6",
+		"comma-separated catalog workloads to register at startup (jacobi, jacobiN, queensN)")
+	fs.IntVar(&o.workers, "workers", 2, "worker goroutines per engine")
+	fs.IntVar(&o.maxConcurrent, "max-concurrent", 4, "runs executing simultaneously")
+	fs.IntVar(&o.queueDepth, "queue", 8, "admission queue depth beyond in-flight; overflow sheds 429")
+	fs.DurationVar(&o.timeout, "timeout", 10*time.Second, "default per-run deadline")
+	fs.DurationVar(&o.maxTimeout, "max-timeout", 60*time.Second, "clamp on requested per-run deadlines")
+	fs.Int64Var(&o.maxOps, "max-ops", 100_000_000, "default per-run operator budget")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 5*time.Second,
+		"graceful-shutdown budget before in-flight runs are canceled")
+	fs.IntVar(&o.poolIdle, "pool-idle", 0, "idle engines retained per program (0 = max-concurrent)")
+	fs.Int64Var(&o.chaosSeed, "chaos", 0,
+		"non-zero seeds fault injection + retry on chaos-capable programs (the queens family)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// buildServer constructs and populates the server from options — split
+// from main so tests drive the exact wiring the daemon runs.
+func buildServer(o *options) (*server.Server, error) {
+	s := server.New(server.Config{
+		MaxConcurrent:  o.maxConcurrent,
+		QueueDepth:     o.queueDepth,
+		DefaultTimeout: o.timeout,
+		MaxTimeout:     o.maxTimeout,
+		DefaultMaxOps:  o.maxOps,
+		DrainTimeout:   o.drainTimeout,
+		Workers:        o.workers,
+		PoolIdle:       o.poolIdle,
+	})
+	for _, name := range strings.Split(o.programs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, err := server.Catalog(name, o.workers, o.chaosSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Register(spec); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func run(args []string) int {
+	o, err := parseFlags(args)
+	if err != nil {
+		return 2
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delserver: %v\n", err)
+		return 2
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "delserver: serving %s on %s (max-concurrent=%d queue=%d chaos=%d)\n",
+			strings.Join(s.Programs(), ","), o.addr, o.maxConcurrent, o.queueDepth, o.chaosSeed)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "delserver: listen: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admitting, let in-flight runs finish up to the budget,
+	// cancel stragglers — then close the listener so queued 503s flush.
+	fmt.Fprintln(os.Stderr, "delserver: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout+5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "delserver: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "delserver: http shutdown: %v\n", err)
+	}
+	if leaks := s.LeakRuns(); leaks > 0 {
+		fmt.Fprintf(os.Stderr, "delserver: FAILED block invariant: %d runs leaked (Allocated != Freed)\n", leaks)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "delserver: drained clean (0 leaked runs)")
+	return 0
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestBuildServerWiring exercises the exact flag-to-server path the daemon
+// runs: catalog registration, chaos arming, and one request end to end.
+func TestBuildServerWiring(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-programs", "jacobi,queens6", "-workers", "2",
+		"-max-concurrent", "2", "-queue", "2", "-chaos", "1990",
+		"-drain-timeout", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	progs := s.Programs()
+	if len(progs) != 2 || progs[0] != "jacobi" || progs[1] != "queens6" {
+		t.Fatalf("programs = %v, want [jacobi queens6]", progs)
+	}
+	resp, apiErr := s.Execute(context.Background(), "queens6", server.RunRequest{})
+	if apiErr != nil {
+		t.Fatalf("run queens6: %v", apiErr)
+	}
+	if resp.Stats.BlocksAllocated != resp.Stats.BlocksFreed {
+		t.Errorf("blocks allocated %d != freed %d", resp.Stats.BlocksAllocated, resp.Stats.BlocksFreed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if n := s.LeakRuns(); n != 0 {
+		t.Errorf("leaked runs = %d", n)
+	}
+}
+
+// TestBuildServerRejectsUnknownWorkload: a bad -programs entry fails fast
+// at startup instead of 404ing at first request.
+func TestBuildServerRejectsUnknownWorkload(t *testing.T) {
+	o, err := parseFlags([]string{"-programs", "jacobi,bogus"})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if _, err := buildServer(o); err == nil {
+		t.Fatal("buildServer accepted unknown workload 'bogus'")
+	}
+}

@@ -7,7 +7,11 @@
 //	delx -list            list experiment ids
 //
 // Experiments: fig1, tab1, tab1wall, tab2, lst1, lst2, ovh, prio, aff,
-// mem, opt, walks, queens, faults, thru, stress.
+// mem, opt, walks, queens, faults, thru, stress, serve.
+//
+// `delx call` is a subcommand, not an experiment: it drives a running
+// delserver over HTTP with concurrent runs and retrying backoff
+// (see delx call -h).
 //
 // The faults experiment takes -retries (retry attempts per operator) and
 // -timeout (per-operator execution bound; 0 for none). The stress
@@ -74,10 +78,18 @@ func all(opTimeout time.Duration, retries, seeds int) []experiment {
 			func() (string, error) { return experiments.ThroughputText(200) }},
 		{"stress", "differential stress: random graphs through the cross-executor oracle matrix",
 			func() (string, error) { return experiments.StressText(seeds) }},
+		{"serve", "coordination server: registry, overload shedding, chaos, graceful drain",
+			func() (string, error) { return experiments.ServeText(60) }},
 	}
 }
 
 func main() {
+	// `delx call` is a subcommand with its own flags (it drives a running
+	// delserver rather than an in-process experiment); intercept it before
+	// the experiment flag set parses.
+	if len(os.Args) > 1 && os.Args[1] == "call" {
+		os.Exit(runCall(os.Args[2:]))
+	}
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	opTimeout := flag.Duration("timeout", 0, "per-operator execution bound for the faults experiment (0 = none)")
 	retries := flag.Int("retries", 3, "retry attempts per operator for the faults experiment")

@@ -58,8 +58,13 @@ func boardOf(v value.Value, what string) (*board, error) {
 func Operators() *operator.Registry {
 	r := operator.NewRegistry(operator.Builtins())
 
+	// The queens operators are pure-functional over immutable boards (no
+	// Destructive arguments), so a failed attempt can simply re-run:
+	// Retryable makes the workload safe under fault injection and the
+	// server's chaos mode. They are deliberately NOT marked Pure — Pure
+	// would let the compiler constant-fold zero-argument empty_board.
 	r.MustRegister(&operator.Operator{
-		Name: "empty_board", Arity: 0,
+		Name: "empty_board", Arity: 0, Retryable: true,
 		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
 			ctx.Charge(1)
 			return boardBlock(&board{}, ctx.BlockStats()), nil
@@ -67,7 +72,7 @@ func Operators() *operator.Registry {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "add_queen", Arity: 3,
+		Name: "add_queen", Arity: 3, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			b, err := boardOf(args[0], "add_queen")
 			if err != nil {
@@ -93,7 +98,7 @@ func Operators() *operator.Registry {
 	})
 
 	r.MustRegister(&operator.Operator{
-		Name: "is_valid", Arity: 1,
+		Name: "is_valid", Arity: 1, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			b, err := boardOf(args[0], "is_valid")
 			if err != nil {
@@ -120,7 +125,7 @@ func Operators() *operator.Registry {
 	// show_solutions passes the merged solution package through; the host
 	// program extracts and renders it (in the paper it printed).
 	r.MustRegister(&operator.Operator{
-		Name: "show_solutions", Arity: 1,
+		Name: "show_solutions", Arity: 1, Retryable: true,
 		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
 			ctx.Charge(1)
 			return args[0], nil

@@ -359,6 +359,19 @@ func (e *Engine) Reset() error {
 	return nil
 }
 
+// SetMaxOps overrides the engine's operator budget for subsequent runs:
+// n > 0 bounds each run to n operator executions (exceeding it fails the
+// run with FailBudget), n == 0 removes the bound. The server uses this to
+// apply per-request budgets to pooled engines compiled with a default.
+// Calling it while a run is in flight returns ErrEngineRunning.
+func (e *Engine) SetMaxOps(n int64) error {
+	if e.state.Load() == engRunning {
+		return ErrEngineRunning
+	}
+	e.maxOps = n
+	return nil
+}
+
 // scheduler returns the engine's work-stealing scheduler, creating it on
 // the first multi-worker run and reopening the cached one after that — a
 // reused engine pays the deque and parker allocations exactly once.

@@ -1,0 +1,73 @@
+package runtime
+
+import "sync"
+
+// EnginePool keeps a bounded free list of reusable engines for one compiled
+// program. Get hands out a warmed engine when one is idle (LIFO, so the
+// most recently used — and most cache-warm — engine goes first) and falls
+// back to constructing a fresh one; Put Resets the engine and returns it to
+// the pool, dropping it instead when the pool is full or the Reset fails
+// (an engine still mid-run must never be reissued). The server builds one
+// pool per registered program so concurrent requests reuse warmed block
+// free lists and activation pools instead of reallocating per run.
+type EnginePool struct {
+	mu   sync.Mutex
+	idle []*Engine
+
+	maxIdle   int
+	newEngine func() *Engine
+
+	created int64
+	reused  int64
+}
+
+// NewEnginePool returns a pool that retains at most maxIdle idle engines
+// (maxIdle <= 0 keeps one) and constructs new ones with newEngine. The
+// constructor must return a distinct engine per call: engines share the
+// immutable compiled program, never mutable per-run state — in particular a
+// stateful FaultPlan must be created per engine, not shared.
+func NewEnginePool(maxIdle int, newEngine func() *Engine) *EnginePool {
+	if maxIdle <= 0 {
+		maxIdle = 1
+	}
+	return &EnginePool{maxIdle: maxIdle, newEngine: newEngine}
+}
+
+// Get returns an idle engine, constructing one when none is pooled.
+func (p *EnginePool) Get() *Engine {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		e := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.reused++
+		p.mu.Unlock()
+		return e
+	}
+	p.created++
+	p.mu.Unlock()
+	return p.newEngine()
+}
+
+// Put Resets e and returns it to the pool. An engine that fails to Reset
+// (still running) or overflows maxIdle is dropped; pooling is an
+// optimization, never an obligation.
+func (p *EnginePool) Put(e *Engine) {
+	if e == nil || e.Reset() != nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, e)
+	}
+	p.mu.Unlock()
+}
+
+// Counters reports how many Gets constructed a fresh engine and how many
+// reused a pooled one, plus the current idle count. The server's /metrics
+// endpoint exports all three.
+func (p *EnginePool) Counters() (created, reused, idle int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, p.reused, int64(len(p.idle))
+}

@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestEnginePoolReuse: Get after Put hands back the same engine, warmed;
+// counters track constructions vs reuses; overflow beyond maxIdle drops.
+func TestEnginePoolReuse(t *testing.T) {
+	g := compile(t, "main(n) incr(n)", nil)
+	p := NewEnginePool(1, func() *Engine {
+		return New(g, Config{Mode: Real, Workers: 1, MaxOps: 1000})
+	})
+	e1 := p.Get()
+	if v, err := e1.Run(value.Int(1)); err != nil || v != value.Int(2) {
+		t.Fatalf("first run: %v, %v", v, err)
+	}
+	p.Put(e1)
+	e2 := p.Get()
+	if e2 != e1 {
+		t.Error("Get after Put constructed a new engine instead of reusing")
+	}
+	if v, err := e2.Run(value.Int(5)); err != nil || v != value.Int(6) {
+		t.Fatalf("reused run: %v, %v", v, err)
+	}
+	// Put back plus one extra: maxIdle 1 keeps one, drops the other.
+	e3 := New(g, Config{Mode: Real, Workers: 1, MaxOps: 1000})
+	p.Put(e2)
+	p.Put(e3)
+	created, reused, idle := p.Counters()
+	if created != 1 || reused != 1 || idle != 1 {
+		t.Errorf("counters = created %d, reused %d, idle %d; want 1, 1, 1",
+			created, reused, idle)
+	}
+}
+
+// TestEnginePoolConcurrent hammers Get/Run/Put from many goroutines under
+// -race: every checkout must see a runnable engine and a correct result.
+func TestEnginePoolConcurrent(t *testing.T) {
+	g := compile(t, "main(n) incr(n)", nil)
+	p := NewEnginePool(4, func() *Engine {
+		return New(g, Config{Mode: Real, Workers: 2, MaxOps: 1000})
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				e := p.Get()
+				v, err := e.Run(value.Int(i))
+				if err != nil || v != value.Int(i+1) {
+					t.Errorf("pooled run(%d): %v, %v", i, v, err)
+				}
+				p.Put(e)
+			}
+		}()
+	}
+	wg.Wait()
+	created, reused, _ := p.Counters()
+	if created+reused != 200 {
+		t.Errorf("created %d + reused %d = %d, want 200", created, reused, created+reused)
+	}
+}

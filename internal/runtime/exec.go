@@ -37,6 +37,13 @@ type worker struct {
 	// goroutines can never touch a live free list.
 	mem *memState
 
+	// blocks, when non-nil, overrides the engine-wide counters this
+	// worker's operators reach through Context.BlockStats. Shadow workers
+	// carry a private sink here so that a goroutine abandoned by a timeout
+	// can never write block accounting into the engine — which may since
+	// have been Reset() and reused for a different run.
+	blocks *value.BlockStats
+
 	// charge accumulates Context.Charge units of the node being executed.
 	charge int64
 	// localWords/remoteWords price the executed node's block traffic for
@@ -68,8 +75,14 @@ func (w *worker) Charge(units int64) {
 	w.charge += units
 }
 
-// BlockStats implements operator.Context.
-func (w *worker) BlockStats() *value.BlockStats { return &w.e.stats.Blocks }
+// BlockStats implements operator.Context: the worker's private sink when
+// one is installed (shadow workers), the engine's counters otherwise.
+func (w *worker) BlockStats() *value.BlockStats {
+	if w.blocks != nil {
+		return w.blocks
+	}
+	return &w.e.stats.Blocks
+}
 
 // Processor implements operator.Context.
 func (w *worker) Processor() int { return w.proc }
@@ -162,42 +175,82 @@ func callOperator(w *worker, n *graph.Node, ins []value.Value, f *Fault) (result
 	return n.Op.Fn(w, ins)
 }
 
+// Shadow-call publication states: the dispatching worker and the shadow
+// goroutine race one CAS from pending, so exactly one side wins — the
+// waiter by abandoning the call, or the shadow by publishing its result.
+const (
+	shadowPending int32 = iota
+	shadowAbandoned
+	shadowCompleted
+)
+
 // callOperatorBounded runs one operator attempt under a deadline. The body
-// runs on its own goroutine with a detached shadow worker and a private
-// argument slice: if the deadline fires the goroutine is abandoned (Go
-// cannot preempt embedded code), and the isolation guarantees the stray
-// goroutine cannot race with the worker's per-node state or with a retry
-// rewriting the activation buffer. Charges merge back only on completion.
+// runs on its own goroutine with a detached shadow worker, a private
+// argument slice, and a private block-stats sink: if the deadline fires the
+// goroutine is abandoned (Go cannot preempt embedded code), and the
+// isolation guarantees the stray goroutine cannot race with the worker's
+// per-node state, with a retry rewriting the activation buffer, or with the
+// engine's counters. Publication is arbitrated by a CAS guarded by the
+// engine's run-generation counter: an abandoned operator that unwinds after
+// the engine has been Reset() — and possibly reused for a later run — sees
+// a stale generation and discards its result instead of writing stats or
+// blocks into an engine that no longer owns it. Charges and block
+// accounting merge back on the dispatching worker, and only on completion.
 func (e *Engine) callOperatorBounded(w *worker, n *graph.Node, ins []value.Value, f *Fault, limit time.Duration) (value.Value, error) {
 	type opResult struct {
 		v   value.Value
 		err error
 	}
-	// The shadow worker's charges stay private until the call completes, so
-	// an abandoned (timed-out) goroutine cannot race on shared statistics.
-	sw := &worker{e: e, proc: w.proc}
+	sink := &value.BlockStats{}
+	sw := &worker{e: e, proc: w.proc, blocks: sink}
 	argv := make([]value.Value, len(ins))
 	copy(argv, ins)
-	ch := make(chan opResult, 1) // buffered: an abandoned call must not block
+	gen := e.gen.Load()
+	state := &atomic.Int32{}
+	ch := make(chan opResult, 1)
 	go func() {
 		v, err := callOperator(sw, n, argv, f)
-		ch <- opResult{v, err}
+		// Publish only while the dispatching worker is still waiting AND the
+		// engine is still in the same run generation. A lost CAS or a stale
+		// generation means this call was abandoned: drop the result on the
+		// floor. Its block allocations were counted against the private sink,
+		// never the engine's, so the engine's Allocated == Freed invariant is
+		// untouched by the discard.
+		if e.gen.Load() == gen && state.CompareAndSwap(shadowPending, shadowCompleted) {
+			ch <- opResult{v, err}
+		}
 	}()
+	accept := func(r opResult) (value.Value, error) {
+		// Merging into w.charge routes the shadow's units through execNode's
+		// end-of-dispatch stats flush. The private block accounting merges
+		// into the engine's counters, and blocks the operator allocated
+		// against the private sink re-home to the engine's so their eventual
+		// Freed lands where Allocated was just credited.
+		w.charge += sw.charge
+		w.localWords += sw.localWords
+		w.remoteWords += sw.remoteWords
+		e.stats.Blocks.Add(*sink)
+		value.RebindStats(r.v, sink, &e.stats.Blocks)
+		return r.v, r.err
+	}
 	timer := time.NewTimer(limit)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		// Merging into w.charge routes the shadow's units through execNode's
-		// end-of-dispatch stats flush; an abandoned call's charges are lost,
-		// as before.
-		w.charge += sw.charge
-		w.localWords += sw.localWords
-		w.remoteWords += sw.remoteWords
-		return r.v, r.err
+		return accept(r)
 	case <-timer.C:
+		if !state.CompareAndSwap(shadowPending, shadowAbandoned) {
+			// The operator completed inside the race window; its result is
+			// already in the channel — take it instead of reporting a timeout
+			// for work that actually finished.
+			return accept(<-ch)
+		}
 		atomic.AddInt64(&e.stats.OpTimeouts, 1)
 		return nil, &opTimeoutError{op: n.Op.Name, limit: limit}
 	case <-e.ctxDone:
+		if !state.CompareAndSwap(shadowPending, shadowAbandoned) {
+			return accept(<-ch)
+		}
 		return nil, e.runCtx.Err()
 	}
 }

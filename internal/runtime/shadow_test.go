@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/operator"
+	"repro/internal/value"
+)
+
+// shadowOps registers a stallable block allocator for the abandoned-shadow
+// suite: stall(n) allocates a block, parks on gates[n] (n < 0 skips the
+// park), then writes and returns the block. Parking inside the operator
+// body is exactly the shape Go cannot preempt, so an OpTimeout abandons the
+// goroutine mid-flight; releasing the gate later lets the stray goroutine
+// unwind while the engine is in a different run generation.
+func shadowOps(gates []chan struct{}) *operator.Registry {
+	r := operator.NewRegistry(operator.Builtins())
+	r.MustRegister(&operator.Operator{
+		Name: "stall", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			n := int(args[0].(value.Int))
+			b := value.NewBlockStats(make(value.FloatVec, 8), ctx.BlockStats())
+			if n >= 0 {
+				<-gates[n]
+			}
+			vec := b.Data().(value.FloatVec)
+			for i := range vec {
+				vec[i] = 2
+			}
+			return b, nil
+		},
+	})
+	r.MustRegister(&operator.Operator{
+		Name: "bsum", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			var s float64
+			for _, x := range args[0].(*value.Block).Data().(value.FloatVec) {
+				s += x
+			}
+			return value.Float(s), nil
+		},
+	})
+	return r
+}
+
+// TestShadowAbandonedAfterReset is the Reset/shadow-worker interaction
+// regression test: an operator abandoned by an op-timeout unwinds only
+// after the engine has been Reset() and reused for a later run, and must
+// not publish its result, its charges, or its block accounting into that
+// later run. Each iteration times out a stalled run, resets, releases the
+// stalled goroutine, and immediately drives a clean run the stray unwind
+// races against; run under -race this catches any write that escapes the
+// abandoned goroutine's private state.
+func TestShadowAbandonedAfterReset(t *testing.T) {
+	const rounds = 5
+	gates := make([]chan struct{}, rounds)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+	}
+	g := compile(t, "main(n) bsum(stall(n))", shadowOps(gates))
+	e := New(g, Config{Mode: Real, Workers: 2, MaxOps: 100000,
+		OpTimeout: 20 * time.Millisecond})
+
+	for i := 0; i < rounds; i++ {
+		// Stalled run: stall(i) parks on its gate and times out.
+		_, err := e.Run(value.Int(i))
+		var re *RunError
+		if !errors.As(err, &re) || re.Kind != FailTimeout {
+			t.Fatalf("round %d: err = %v, want RunError{FailTimeout}", i, err)
+		}
+		// The abandoned operator allocated its block against a private sink,
+		// so the engine's accounting must balance despite the goroutine
+		// still being parked inside the operator body.
+		st := e.Stats()
+		if st.Blocks.Allocated != st.Blocks.Freed {
+			t.Fatalf("round %d: timed-out run leaked: allocated %d, freed %d",
+				i, st.Blocks.Allocated, st.Blocks.Freed)
+		}
+		if err := e.Reset(); err != nil {
+			t.Fatalf("round %d: Reset: %v", i, err)
+		}
+		// Release the abandoned goroutine and immediately race it against a
+		// clean run of the reused engine. Its late publication must be
+		// discarded by the generation check.
+		close(gates[i])
+		v, err := e.Run(value.Int(-1))
+		if err != nil {
+			t.Fatalf("round %d: clean rerun failed: %v", i, err)
+		}
+		if v != value.Float(16) {
+			t.Errorf("round %d: rerun = %v, want 16", i, v)
+		}
+		st = e.Stats()
+		if st.OpTimeouts != 0 {
+			t.Errorf("round %d: stale OpTimeouts %d leaked into the reused run", i, st.OpTimeouts)
+		}
+		if st.Blocks.Allocated != st.Blocks.Freed {
+			t.Errorf("round %d: reused run leaked: allocated %d, freed %d",
+				i, st.Blocks.Allocated, st.Blocks.Freed)
+		}
+		if st.Blocks.Allocated == 0 {
+			t.Errorf("round %d: reused run recorded no allocations; sink merge lost", i)
+		}
+		if err := e.Reset(); err != nil {
+			t.Fatalf("round %d: second Reset: %v", i, err)
+		}
+	}
+}
+
+// TestShadowCompletionRebindsBlocks pins the accept path: a block allocated
+// inside a bounded (shadow) operator call that completes in time must be
+// re-homed from the shadow's private sink onto the engine's counters, so
+// its later release lands Freed where Allocated was credited.
+func TestShadowCompletionRebindsBlocks(t *testing.T) {
+	g := compile(t, "main(n) bsum(stall(n))", shadowOps(nil))
+	e := New(g, Config{Mode: Real, Workers: 2, MaxOps: 100000,
+		OpTimeout: 5 * time.Second})
+	v, err := e.Run(value.Int(-1))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v != value.Float(16) {
+		t.Errorf("result = %v, want 16", v)
+	}
+	st := e.Stats()
+	if st.Blocks.Allocated == 0 {
+		t.Fatal("no allocations recorded; shadow sink never merged")
+	}
+	if st.Blocks.Allocated != st.Blocks.Freed {
+		t.Errorf("allocated %d, freed %d; shadow-allocated block not rebound to the engine sink",
+			st.Blocks.Allocated, st.Blocks.Freed)
+	}
+}

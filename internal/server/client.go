@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client calls a delserver over HTTP with retry, exponential backoff, and
+// jitter. Overload (429) and drain (503) responses are retried honoring
+// the server's Retry-After / X-Retry-After-Ms hints; transport errors are
+// retried on backoff alone; every other status returns immediately.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil selects a 2-minute-timeout default.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per call (default 5).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule (default 50ms); MaxBackoff
+	// caps it (default 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// clock.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		if c.HTTP == nil {
+			c.HTTP = &http.Client{Timeout: 2 * time.Minute}
+		}
+		if c.MaxAttempts <= 0 {
+			c.MaxAttempts = 5
+		}
+		if c.BaseBackoff <= 0 {
+			c.BaseBackoff = 50 * time.Millisecond
+		}
+		if c.MaxBackoff <= 0 {
+			c.MaxBackoff = 2 * time.Second
+		}
+		seed := c.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+// jitter returns a uniformly random duration in [d/2, d) — full backoff
+// magnitude, desynchronized so shed clients do not re-stampede in phase.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// CallResult carries one successful call's response plus retry telemetry.
+type CallResult struct {
+	Resp *RunResponse
+	// Attempts is the number of HTTP requests made (1 = no retry).
+	Attempts int
+	// Backoff is the total time spent waiting between attempts.
+	Backoff time.Duration
+}
+
+// Call executes program name with req, retrying overload per the policy
+// above. A non-retryable API error returns as *APIError.
+func (c *Client) Call(ctx context.Context, name string, req RunRequest) (*CallResult, error) {
+	c.init()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	url := c.Base + "/run/" + name
+	res := &CallResult{}
+	backoff := c.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		resp, retryAfter, err := c.post(ctx, url, body)
+		if err == nil {
+			res.Resp = resp
+			return res, nil
+		}
+		// Only overload/drain responses and transport errors retry.
+		if ae, ok := err.(*APIError); ok &&
+			ae.Status != http.StatusTooManyRequests && ae.Status != http.StatusServiceUnavailable {
+			return nil, ae
+		}
+		if attempt >= c.MaxAttempts {
+			return nil, fmt.Errorf("client: %s failed after %d attempts: %w", name, attempt, err)
+		}
+		// Honor the server's hint when it exceeds our own schedule: the
+		// server knows its queue; the exponential curve is the floor.
+		wait := c.jitter(backoff)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		res.Backoff += wait
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > c.MaxBackoff {
+			backoff = c.MaxBackoff
+		}
+	}
+}
+
+// post performs one attempt. On a non-2xx it returns the decoded *APIError
+// and any Retry-After hint.
+func (c *Client) post(ctx context.Context, url string, body []byte) (*RunResponse, time.Duration, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, httpResp.Body)
+		httpResp.Body.Close()
+	}()
+	if httpResp.StatusCode == http.StatusOK {
+		var out RunResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+			return nil, 0, fmt.Errorf("client: decode response: %w", err)
+		}
+		return &out, 0, nil
+	}
+	retryAfter := parseRetryAfter(httpResp.Header)
+	var eb ErrorBody
+	if err := json.NewDecoder(httpResp.Body).Decode(&eb); err != nil || eb.Error == nil {
+		return nil, retryAfter, &APIError{Status: httpResp.StatusCode, Code: "http_error",
+			Message: fmt.Sprintf("status %d with undecodable body", httpResp.StatusCode)}
+	}
+	eb.Error.Status = httpResp.StatusCode
+	return nil, retryAfter, eb.Error
+}
+
+// parseRetryAfter prefers the millisecond-precision extension header and
+// falls back to the standard whole-second one.
+func parseRetryAfter(h http.Header) time.Duration {
+	if ms := h.Get("X-Retry-After-Ms"); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	if secs := h.Get("Retry-After"); secs != "" {
+		if v, err := strconv.ParseInt(secs, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return 0
+}
+
+// RegisterSource posts Delirium source for compilation and registration.
+func (c *Client) RegisterSource(ctx context.Context, req RegisterRequest) error {
+	c.init()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/programs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusCreated {
+		io.Copy(io.Discard, httpResp.Body)
+		return nil
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(httpResp.Body).Decode(&eb); err != nil || eb.Error == nil {
+		return fmt.Errorf("client: register failed with status %d", httpResp.StatusCode)
+	}
+	eb.Error.Status = httpResp.StatusCode
+	return eb.Error
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesOverloadHonoringRetryAfter: a client shed twice with
+// explicit Retry-After hints must back off at least that long, retry, and
+// succeed on the third attempt.
+func TestClientRetriesOverloadHonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	const hintMS = 120
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeError(w, &APIError{Status: http.StatusTooManyRequests, Code: "overloaded",
+				Message: "full", RetryAfterMS: hintMS})
+			return
+		}
+		writeJSON(w, http.StatusOK, &RunResponse{Program: "p", Result: float64(7)})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond, Seed: 42}
+	start := time.Now()
+	res, err := c.Call(context.Background(), "p", RunRequest{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", res.Attempts)
+	}
+	if res.Resp.Result != float64(7) {
+		t.Errorf("result = %v, want 7", res.Resp.Result)
+	}
+	// Two shed responses, each hinting 120ms: the waits must dominate the
+	// 1ms exponential floor, so total elapsed >= 2 * hint.
+	if want := 2 * hintMS * time.Millisecond; elapsed < want {
+		t.Errorf("elapsed %v < %v: Retry-After hint not honored", elapsed, want)
+	}
+	if res.Backoff < 2*hintMS*time.Millisecond {
+		t.Errorf("recorded backoff %v < %v", res.Backoff, 2*hintMS*time.Millisecond)
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts: permanent overload exhausts the
+// attempt budget and surfaces the last error.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, &APIError{Status: http.StatusServiceUnavailable, Code: "draining",
+			Message: "going away", RetryAfterMS: 1})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 1}
+	_, err := c.Call(context.Background(), "p", RunRequest{})
+	if err == nil {
+		t.Fatal("want failure after exhausting attempts")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientDoesNotRetryTerminalErrors: a 422 run failure returns
+// immediately as a structured APIError without burning retries.
+func TestClientDoesNotRetryTerminalErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, &APIError{Status: http.StatusUnprocessableEntity, Code: "run_failed",
+			Message: "operator exploded", Kind: "panic", Op: "boom", Attempts: 3})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond, Seed: 1}
+	_, err := c.Call(context.Background(), "p", RunRequest{})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if ae.Status != 422 || ae.Kind != "panic" || ae.Op != "boom" || ae.Attempts != 3 {
+		t.Errorf("APIError = %+v: structured run-failure fields lost in transit", ae)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on terminal errors)", got)
+	}
+}
+
+// TestRetryAfterHeaders: the envelope writes both the whole-second
+// standard header (ceiling-rounded, never 0) and the exact-ms extension,
+// and parseRetryAfter prefers the extension.
+func TestRetryAfterHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, &APIError{Status: 429, Code: "overloaded", Message: "x", RetryAfterMS: 250})
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want ceiling-rounded \"1\"", got)
+	}
+	if got := rec.Header().Get("X-Retry-After-Ms"); got != "250" {
+		t.Errorf("X-Retry-After-Ms = %q, want \"250\"", got)
+	}
+	if d := parseRetryAfter(rec.Header()); d != 250*time.Millisecond {
+		t.Errorf("parseRetryAfter = %v, want 250ms", d)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == nil {
+		t.Fatalf("error envelope undecodable: %v", err)
+	}
+	if eb.Error.RetryAfterMS != 250 || eb.Error.Code != "overloaded" {
+		t.Errorf("envelope = %+v", eb.Error)
+	}
+}

@@ -1,0 +1,181 @@
+// Package server turns the Delirium runtime into a long-running
+// coordination service: a program registry (compile once, run many), an
+// HTTP/JSON API to submit runs with arguments, per-program pools of
+// reusable engines, and a hardened run lifecycle — bounded admission with
+// load shedding, per-run deadlines and operator budgets, panic isolation,
+// Prometheus-style metrics, and graceful drain. Every run path asserts the
+// block-accounting invariant Allocated == Freed.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// RunRequest is the body of POST /run/{name}.
+type RunRequest struct {
+	// Args are the main-function arguments, generically decoded (numbers,
+	// strings, bools, null, arrays-as-tuples) unless the program's Spec
+	// installs its own decoder.
+	Args []json.RawMessage `json:"args,omitempty"`
+	// TimeoutMS overrides the server's default per-run deadline, clamped to
+	// the configured maximum. Zero selects the default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxOps overrides the server's default per-run operator budget,
+	// clamped to the configured cap. Zero selects the default.
+	MaxOps int64 `json:"max_ops,omitempty"`
+}
+
+// RunStats is the per-run counter summary returned with every successful
+// run (and exported in aggregate at /metrics).
+type RunStats struct {
+	Ops             int64 `json:"ops"`
+	Operators       int64 `json:"operators"`
+	Retries         int64 `json:"retries,omitempty"`
+	FaultsInjected  int64 `json:"faults_injected,omitempty"`
+	Steals          int64 `json:"steals,omitempty"`
+	PooledAllocs    int64 `json:"pooled_allocs,omitempty"`
+	BlocksAllocated int64 `json:"blocks_allocated"`
+	BlocksFreed     int64 `json:"blocks_freed"`
+}
+
+// RunResponse is the body of a successful run.
+type RunResponse struct {
+	Program string `json:"program"`
+	// Result is the rendered program result: the program Spec's renderer
+	// output, or the generic value encoding.
+	Result    any      `json:"result"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Reused    bool     `json:"engine_reused"`
+	Stats     RunStats `json:"stats"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error *APIError `json:"error"`
+}
+
+// APIError is the structured error shape of the API. Code is the stable
+// machine-readable discriminator; the run-failure fields mirror
+// runtime.RunError when the error wraps one.
+type APIError struct {
+	// Status is the HTTP status (not serialized; carried on the envelope).
+	Status int `json:"-"`
+	// Code: bad_request, unknown_program, duplicate_program, overloaded,
+	// draining, client_gone, deadline, run_failed, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Kind is the runtime failure kind (error, panic, timeout, canceled,
+	// deadlock, budget) when the error wraps a RunError.
+	Kind     string   `json:"kind,omitempty"`
+	Op       string   `json:"op,omitempty"`
+	Template string   `json:"template,omitempty"`
+	Path     []string `json:"path,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+	// RetryAfterMS, on overloaded/draining responses, is the client backoff
+	// hint also carried in the Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// decodeArgs generically converts JSON arguments to runtime values:
+// integral numbers become Int, other numbers Float, strings Str, booleans
+// Bool, null Null, and arrays Tuples (recursively). Objects are rejected —
+// block payloads are produced by operators, not posted by clients.
+func decodeArgs(raw []json.RawMessage) ([]value.Value, error) {
+	out := make([]value.Value, len(raw))
+	for i, r := range raw {
+		v, err := decodeArg(r)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func decodeArg(raw json.RawMessage) (value.Value, error) {
+	var x any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&x); err != nil {
+		return nil, err
+	}
+	return decodeAny(x)
+}
+
+func decodeAny(x any) (value.Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return value.Null{}, nil
+	case bool:
+		return value.Bool(t), nil
+	case string:
+		return value.Str(t), nil
+	case json.Number:
+		if n, err := t.Int64(); err == nil {
+			return value.Int(n), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.String())
+		}
+		return value.Float(f), nil
+	case []any:
+		tup := make(value.Tuple, len(t))
+		for i, e := range t {
+			v, err := decodeAny(e)
+			if err != nil {
+				return nil, err
+			}
+			tup[i] = v
+		}
+		return tup, nil
+	default:
+		return nil, fmt.Errorf("unsupported argument type %T (objects cannot be posted)", x)
+	}
+}
+
+// encodeValue generically renders a result value as a JSON-marshalable
+// payload: atoms map to their JSON counterparts, tuples to arrays, and
+// blocks to a {"$block": ...} wrapper (float vectors inline their data;
+// opaque payloads render their size only — program Specs install typed
+// renderers for those).
+func encodeValue(v value.Value) any {
+	switch t := v.(type) {
+	case nil, value.Null:
+		return nil
+	case value.Int:
+		return int64(t)
+	case value.Float:
+		f := float64(t)
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return fmt.Sprint(f)
+		}
+		return f
+	case value.Str:
+		return string(t)
+	case value.Bool:
+		return bool(t)
+	case value.Tuple:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = encodeValue(e)
+		}
+		return out
+	case *value.Block:
+		if vec, ok := t.Data().(value.FloatVec); ok {
+			return map[string]any{"$block": append([]float64(nil), vec...)}
+		}
+		return map[string]any{"$block": map[string]any{"words": t.Size()}}
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -255,6 +255,29 @@ func Release(v Value, st *BlockStats) {
 	}
 }
 
+// RebindStats walks v and re-homes every reachable block whose stats sink
+// is from so that its eventual Freed lands on to instead. The shadow-worker
+// accept path uses this after merging a private sink's counters into the
+// engine's: blocks remember the sink that counted their allocation, so
+// without the rebind their release would credit Freed to a sink whose
+// Allocated was already transferred away.
+func RebindStats(v Value, from, to *BlockStats) {
+	switch x := v.(type) {
+	case *Block:
+		if x.stats == from {
+			x.stats = to
+		}
+	case Tuple:
+		for _, e := range x {
+			RebindStats(e, from, to)
+		}
+	case *Closure:
+		for _, e := range x.Env {
+			RebindStats(e, from, to)
+		}
+	}
+}
+
 // Blocks appends every block reachable from v (through tuples and closure
 // environments) to dst and returns the extended slice.
 func Blocks(v Value, dst []*Block) []*Block {
