@@ -1,0 +1,138 @@
+package delirium_test
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/machine"
+	"repro/internal/retina"
+	"repro/internal/runtime"
+)
+
+// The adaptive loop's safety contract: profile weights only reorder ready
+// queues — they must never change results. These tests stack the profiled
+// recompile on top of every other runtime feature (memory plan, engine
+// reuse, retry with seeded faults, 1/2/8 workers, both clocks) and demand
+// bit-identity with the sequential reference throughout.
+
+func adaptiveTestConfig() retina.Config {
+	return retina.Config{W: 32, H: 32, K: 5, Slabs: 4, Timesteps: 2,
+		TargetsPerQuarter: 8, TargetWork: 200, Seed: 77}
+}
+
+// calibrateProfile compiles with unit weights and measures mean operator
+// costs on a single-worker simulated run, mirroring adapt.Tune's
+// calibration pass.
+func calibrateProfile(t *testing.T, cfg retina.Config) map[string]int64 {
+	t.Helper()
+	res := compileRetina(t, cfg, nil)
+	eng := runtime.New(res.Program, runtime.Config{
+		Mode: runtime.Simulated, Workers: 1, Timing: true,
+		Machine: machine.CrayYMP(), MaxOps: 50_000_000})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	prof := eng.ProfileWeights()
+	if len(prof) == 0 {
+		t.Fatal("calibration measured nothing")
+	}
+	return prof
+}
+
+func compileRetina(t *testing.T, cfg retina.Config, prof map[string]int64) *compile.Result {
+	t.Helper()
+	reg, err := retina.Operators(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compile.Compile("retina1.dlr", retina.Source(cfg, retina.V1), compile.Options{
+		Registry: reg, Fuse: true, MemPlan: true, FuseProfile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAdaptiveCalibrationDeterministic: identical calibration runs measure
+// identical profiles, and recompiling with the measured profile yields a
+// byte-identical fusion plan — the property that makes calibrate-once sound.
+func TestAdaptiveCalibrationDeterministic(t *testing.T) {
+	cfg := adaptiveTestConfig()
+	p1 := calibrateProfile(t, cfg)
+	p2 := calibrateProfile(t, cfg)
+	if len(p1) != len(p2) {
+		t.Fatalf("profile sizes differ: %d vs %d", len(p1), len(p2))
+	}
+	for k, v := range p1 {
+		if p2[k] != v {
+			t.Errorf("profile[%s] = %d vs %d across identical runs", k, v, p2[k])
+		}
+	}
+	r1 := compileRetina(t, cfg, p1).FusePlan.Report()
+	r2 := compileRetina(t, cfg, p2).FusePlan.Report()
+	if r1 != r2 {
+		t.Errorf("fusion plans diverged for identical profiles:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+// TestAdaptiveOutputsBitIdentical: baseline and profile-tuned plans produce
+// the same scene as the sequential reference at every worker count, with the
+// memory plan on, engines reused via Reset, and a seeded fault leg driving
+// the retry machinery through the tuned plan.
+func TestAdaptiveOutputsBitIdentical(t *testing.T) {
+	cfg := adaptiveTestConfig()
+	ref := retina.Reference(cfg)
+	prof := calibrateProfile(t, cfg)
+
+	plans := map[string]map[string]int64{"baseline": nil, "tuned": prof}
+	for planName, p := range plans {
+		res := compileRetina(t, cfg, p)
+		for _, workers := range []int{1, 2, 8} {
+			for _, mode := range []runtime.Mode{runtime.Simulated, runtime.Real} {
+				rcfg := runtime.Config{Mode: mode, Workers: workers, MaxOps: 50_000_000}
+				if mode == runtime.Simulated {
+					rcfg.Machine = machine.CrayYMP()
+				}
+				eng := runtime.New(res.Program, rcfg)
+				for run := 0; run < 2; run++ { // reuse leg: Reset must not perturb results
+					if run > 0 {
+						if err := eng.Reset(); err != nil {
+							t.Fatalf("%s w%d %v: reset: %v", planName, workers, mode, err)
+						}
+					}
+					out, err := eng.Run()
+					if err != nil {
+						t.Fatalf("%s w%d %v run %d: %v", planName, workers, mode, run, err)
+					}
+					scene, err := retina.ExtractScene(out)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !retina.Equal(scene, ref) {
+						t.Errorf("%s w%d %v run %d diverged from reference", planName, workers, mode, run)
+					}
+				}
+			}
+		}
+
+		// Fault leg: seeded chaos on two operators plus retry, 2 workers.
+		fcfg := runtime.Config{Mode: runtime.Real, Workers: 2, MaxOps: 50_000_000,
+			Retry:  runtime.RetryPolicy{MaxAttempts: 3},
+			Faults: runtime.SeededFaultPlan(7, []string{"convol_bite", "post_up"}, 8)}
+		eng := runtime.New(res.Program, fcfg)
+		out, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%s fault leg: %v", planName, err)
+		}
+		if eng.Stats().FaultsInjected == 0 {
+			t.Errorf("%s fault leg injected nothing", planName)
+		}
+		scene, err := retina.ExtractScene(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !retina.Equal(scene, ref) {
+			t.Errorf("%s fault leg diverged from reference", planName)
+		}
+	}
+}

@@ -23,8 +23,10 @@ package delirium_test
 
 import (
 	"context"
+	"fmt"
 
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/circuit"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jacobi"
 	"repro/internal/machine"
+	"repro/internal/operator"
 	"repro/internal/queens"
 	"repro/internal/ray"
 	"repro/internal/retina"
@@ -565,3 +568,171 @@ func BenchmarkStressOracle(b *testing.B) {
 	}
 	b.ReportMetric(float64(runs), "oracle_runs")
 }
+
+// --- adaptive-loop benchmarks (BENCH_adaptive.json, bench-adaptive CI job) ---
+
+// benchAdaptiveSink defeats dead-code elimination of the busy loops below.
+var benchAdaptiveSink uint64
+
+// adaptiveChainRegistry builds operators with a 10x cost asymmetry the
+// compiler cannot see: hslow spins ten times longer than hfast, but both
+// charge their true cost only at run time. Unit-weight fusion ranks their
+// chains identically; profile-guided fusion learns the difference.
+func adaptiveChainRegistry() *operator.Registry {
+	reg := operator.NewRegistry(operator.Builtins())
+	spin := func(iters int64) {
+		x := uint64(2463534242)
+		for i := int64(0); i < iters; i++ {
+			x ^= x >> 13
+			x *= 1099511628211
+		}
+		benchAdaptiveSink += x
+	}
+	reg.MustRegister(&operator.Operator{
+		Name: "hseed", Arity: 0,
+		Fn: func(ctx operator.Context, _ []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			return value.Int(1), nil
+		},
+	})
+	for _, op := range []struct {
+		name  string
+		iters int64
+	}{{"hfast", 4_000}, {"hslow", 40_000}} {
+		iters := op.iters
+		reg.MustRegister(&operator.Operator{
+			Name: op.name, Arity: 1,
+			Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+				ctx.Charge(iters)
+				spin(iters)
+				return args[0], nil
+			},
+		})
+	}
+	reg.MustRegister(&operator.Operator{
+		Name: "hjoin", Arity: 7,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			ctx.Charge(1)
+			var s value.Int
+			for _, a := range args {
+				s += a.(value.Int)
+			}
+			return s, nil
+		},
+	})
+	return reg
+}
+
+// adaptiveChainSource is seven 8-deep chains joined at arity 7, with the
+// heavy chain declared in the MIDDLE of the cheap ones. Declaration order is
+// the unit-weight tie-break, so an unprofiled schedule starts three cheap
+// chains before the heavy one — the makespan then carries that late start.
+// Measured weights push the heavy chain's bottom level past every cheap
+// chain and it starts first.
+func adaptiveChainSource() string {
+	var b strings.Builder
+	b.WriteString("main()\n  let s = hseed()\n")
+	ends := make([]string, 0, 7)
+	for c := 1; c <= 7; c++ {
+		op := "hfast"
+		if c == 4 {
+			op = "hslow"
+		}
+		prev := "s"
+		for k := 1; k <= 8; k++ {
+			v := fmt.Sprintf("c%dk%d", c, k)
+			fmt.Fprintf(&b, "      %s = %s(%s)\n", v, op, prev)
+			prev = v
+		}
+		ends = append(ends, prev)
+	}
+	fmt.Fprintf(&b, "  in hjoin(%s)\n", strings.Join(ends, ","))
+	return b.String()
+}
+
+// benchAdaptiveChain runs the chain workload on 2 real workers, optionally
+// calibrating first and re-fusing with the measured weights — the adaptive
+// loop's compile path, isolated so the pair gates "tuned beats unit".
+func benchAdaptiveChain(b *testing.B, tuned bool) {
+	b.Helper()
+	reg := adaptiveChainRegistry()
+	src := adaptiveChainSource()
+	var prof map[string]int64
+	if tuned {
+		cal, err := compile.Compile("chain.dlr", src, compile.Options{Registry: reg, Fuse: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := rt.New(cal.Program, rt.Config{Mode: rt.Real, Workers: 1, Timing: true, MaxOps: 1_000_000})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		prof = eng.ProfileWeights()
+		if len(prof) == 0 {
+			b.Fatal("calibration measured nothing")
+		}
+	}
+	res, err := compile.Compile("chain.dlr", src, compile.Options{Registry: reg, Fuse: true, FuseProfile: prof})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Deterministic half of the CI gate: the virtual-clock makespan at two
+	// modeled workers shows the schedule itself (heavy chain first vs third),
+	// independent of how many cores the runner has or how noisy its clock is.
+	sim := rt.New(res.Program, rt.Config{Mode: rt.Simulated, Workers: 2,
+		Machine: machine.CrayYMP(), MaxOps: 1_000_000})
+	if _, err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	vticks := float64(sim.Stats().MakespanTicks)
+	var ops int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := rt.New(res.Program, rt.Config{Mode: rt.Real, Workers: 2, MaxOps: 1_000_000})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		ops += eng.Stats().OperatorsRun
+	}
+	if ops > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/operator")
+	}
+	b.ReportMetric(vticks, "vticks")
+}
+
+func BenchmarkAdaptiveChainUnit(b *testing.B)  { benchAdaptiveChain(b, false) }
+func BenchmarkAdaptiveChainTuned(b *testing.B) { benchAdaptiveChain(b, true) }
+
+// benchAdaptiveJacobi is the sanity half of the CI gate: on a workload whose
+// compile-time Charge estimates are already accurate, profile-guided
+// re-fusion must not regress (the gate allows measurement noise but no
+// structural slowdown).
+func benchAdaptiveJacobi(b *testing.B, tuned bool) {
+	b.Helper()
+	cfg := jacobi.Config{N: 64, Tol: 1e-2, MaxSweeps: 200, MemPlan: true, Fuse: true}
+	if tuned {
+		cal, err := jacobi.CompileProgram(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := rt.New(cal, rt.Config{Mode: rt.Real, Workers: 1, Timing: true, MaxOps: 100_000_000})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cfg.FuseProfile = eng.ProfileWeights()
+	}
+	prog, err := jacobi.CompileProgram(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := rt.New(prog, rt.Config{Mode: rt.Real, Workers: 2, MaxOps: 100_000_000})
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptiveJacobiUnit(b *testing.B)  { benchAdaptiveJacobi(b, false) }
+func BenchmarkAdaptiveJacobiTuned(b *testing.B) { benchAdaptiveJacobi(b, true) }

@@ -12,6 +12,7 @@
 //	delprof -profout weights.json program.dlr  write mean operator costs as JSON
 //	delprof -fuse -profile weights.json ...    run fused, priorities from a profile
 //	delprof -runs 200 program.dlr              throughput mode: 200 runs on one reused engine
+//	delprof -adaptive program.dlr              calibrate -> re-fuse -> re-run, keep the winner
 //
 // -trace writes the structured execution trace in Chrome trace-event JSON
 // (load it at ui.perfetto.dev): one track per worker, a slice per node
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/cmd/internal/cli"
+	"repro/internal/adapt"
 	"repro/internal/compile"
 	"repro/internal/runtime"
 )
@@ -50,6 +52,7 @@ func main() {
 		profile  = flag.String("profile", "", "JSON operator-weight profile seeding fusion priorities")
 		profout  = flag.String("profout", "", "write the measured mean operator costs as a JSON profile here")
 		runs     = flag.Int("runs", 1, "execute the program this many times on one reused engine (throughput mode); listings describe the last run")
+		adaptive = flag.Bool("adaptive", false, "run the adaptive loop: calibrate with timing on, re-fuse and re-plan with measured weights, re-run, keep the winning plan (implies -fuse -memplan)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -67,15 +70,43 @@ func main() {
 
 	prof, err := cli.LoadProfile(*profile)
 	fail(err)
-	res, err := compile.Compile(name, src, compile.Options{
-		Registry: reg, MemPlan: *memplan, Fuse: *fuse, FuseProfile: prof})
-	fail(err)
 
 	mode := runtime.Real
 	unit := "ns"
 	if *sim {
 		mode = runtime.Simulated
 		unit = "ticks"
+	}
+
+	if *adaptive {
+		measure := 0
+		if *runs > 1 {
+			measure = *runs
+		}
+		tres, err := adapt.Tune(nil, name, src, adapt.Config{
+			Compile:     compile.Options{Registry: reg, MemPlan: true, Adaptive: true, FuseProfile: prof},
+			Runtime:     runtime.Config{Mode: mode, Workers: *workers, Machine: mach},
+			Args:        cli.ParseArgs(flag.Args()[1:]),
+			MeasureRuns: measure,
+		})
+		fail(err)
+		fmt.Print(tres.Report())
+		for _, w := range tres.Winning().Warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		if *profout != "" {
+			fail(cli.WriteProfile(*profout, tres.Profile))
+			fmt.Fprintf(os.Stderr, "profile: wrote %d operator weights to %s (feed back via -profile)\n",
+				len(tres.Profile), *profout)
+		}
+		return
+	}
+
+	res, err := compile.Compile(name, src, compile.Options{
+		Registry: reg, MemPlan: *memplan, Fuse: *fuse, FuseProfile: prof})
+	fail(err)
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}
 	eng := runtime.New(res.Program, runtime.Config{
 		Mode: mode, Workers: *workers, Machine: mach, Timing: true,
@@ -136,7 +167,7 @@ func main() {
 	}
 	for _, s := range rows {
 		fmt.Printf("%-20s %8d %14d %14d %14d\n",
-			s.Name, s.Calls, s.Total, s.Total/int64(s.Calls), s.Max)
+			s.Name, s.Calls, s.Total, cli.MeanWeight(s.Total, s.Calls), s.Max)
 	}
 
 	if *traceOut != "" {
@@ -153,6 +184,7 @@ func main() {
 		fmt.Println()
 		if cp := eng.Trace().CriticalPath(); cp != nil {
 			fmt.Print(cp.Report())
+			fmt.Print(runtime.RenderAdvisories(cp.Advise(*workers)))
 		} else {
 			fmt.Println("critical path: no completed node executions recorded")
 		}
@@ -168,9 +200,15 @@ func main() {
 			res.FusePlan.Clusters, st.FusedNodes, st.FusedDispatchesSaved)
 	}
 	if *profout != "" {
-		weights := make(map[string]int64, len(rows))
-		for _, s := range log.Summarize() {
-			weights[s.Name] = s.Total / int64(s.Calls)
+		// ProfileWeights (not the summary table): it normalizes the dispatch
+		// charge out of unfused Simulated entries so fused and unfused runs
+		// measure the same per-operator costs, rounds rather than truncates,
+		// and never emits a zero weight.
+		weights := eng.ProfileWeights()
+		for name, w := range weights {
+			if w <= 0 {
+				delete(weights, name)
+			}
 		}
 		fail(cli.WriteProfile(*profout, weights))
 		fmt.Fprintf(os.Stderr, "profile: wrote %d operator weights to %s (feed back via -profile)\n",

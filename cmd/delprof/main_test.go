@@ -84,6 +84,45 @@ func TestDelprofSmoke(t *testing.T) {
 	}
 }
 
+// TestDelprofAdaptive runs the closed loop end to end on the unbalanced
+// retina model: -adaptive must complete unattended, report the
+// baseline-vs-tuned comparison, name post_up in a granularity advisory, and
+// write a loadable profile.
+func TestDelprofAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/delprof")
+	profFile := filepath.Join(dir, "prof.json")
+
+	cmd := exec.Command(bin, "-sim", "-app", "retina", "-adaptive",
+		"-workers", "8", "-profout", profFile, "programs/retina1.dlr")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("delprof -adaptive failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"adaptive: calibrated", "keeping tuned plan",
+		"advisory:", "post_up"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(profFile)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	var prof map[string]int64
+	if err := json.Unmarshal(data, &prof); err != nil {
+		t.Fatalf("profile is not valid JSON: %v\n%s", err, data)
+	}
+	if prof["post_up"] < 1 || prof["convol_bite"] < 1 {
+		t.Errorf("profile missing measured operators: %v", prof)
+	}
+}
+
 // TestDelprofUsage checks the no-argument error path exits 2 with usage.
 func TestDelprofUsage(t *testing.T) {
 	if testing.Short() {

@@ -104,6 +104,22 @@ func WriteProfile(path string, prof map[string]int64) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
+// MeanWeight computes a profile weight from a timing summary: the mean cost
+// rounded half-up, floored at 1 so a sub-unit mean never truncates to a
+// "free" operator, and 0 for zero-call summaries (possible when a faulted or
+// budget-aborted run recorded an operator name with no completed calls) —
+// callers drop zero entries instead of dividing by zero.
+func MeanWeight(total int64, calls int) int64 {
+	if calls <= 0 {
+		return 0
+	}
+	w := (total + int64(calls)/2) / int64(calls)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Machine resolves a -machine name to a profile.
 func Machine(name string) (*machine.Profile, error) {
 	switch strings.ToLower(name) {

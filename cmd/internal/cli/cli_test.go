@@ -94,6 +94,58 @@ func TestParseArgs(t *testing.T) {
 	}
 }
 
+func TestProfileRoundTrip(t *testing.T) {
+	prof := map[string]int64{"post_up": 4200, "convol_bite": 1050, "incr": 1}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := WriteProfile(a, prof); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prof) {
+		t.Fatalf("round trip lost keys: %v", got)
+	}
+	for k, v := range prof {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+	// The file must be byte-deterministic regardless of map iteration order:
+	// the adaptive loop's convergence test compares profiles textually.
+	if err := WriteProfile(b, got); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Errorf("WriteProfile not deterministic:\n%s\nvs\n%s", da, db)
+	}
+}
+
+func TestMeanWeight(t *testing.T) {
+	cases := []struct {
+		total int64
+		calls int
+		want  int64
+	}{
+		{0, 0, 0},    // no calls: no weight, and crucially no divide
+		{100, 0, 0},  // ditto with a nonzero total
+		{100, 4, 25}, // exact mean
+		{10, 4, 3},   // rounds to nearest (2.5 → 3)
+		{1, 4, 1},    // sub-unit means floor at 1, never truncate to 0
+		{0, 4, 1},    // zero total still yields a positive weight
+	}
+	for _, c := range cases {
+		if got := MeanWeight(c.total, c.calls); got != c.want {
+			t.Errorf("MeanWeight(%d, %d) = %d, want %d", c.total, c.calls, got, c.want)
+		}
+	}
+}
+
 func TestLoadSource(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "p.dlr")

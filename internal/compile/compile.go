@@ -14,6 +14,7 @@ package compile
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,6 +60,13 @@ type Options struct {
 	// execution costs from a delprof run (operator name -> mean ticks/ns).
 	// Missing entries fall back to unit weight.
 	FuseProfile map[string]int64
+	// Adaptive marks the compilation as part of the adaptive
+	// calibrate→re-fuse→re-run loop (internal/adapt): it implies Fuse, since
+	// the loop's whole point is feeding measured weights back into fusion
+	// priorities. The loop itself lives outside the compiler — this flag
+	// only keeps a caller from requesting adaptation without the pass that
+	// consumes its measurements.
+	Adaptive bool
 }
 
 func (o Options) registry() *operator.Registry {
@@ -131,6 +139,9 @@ func (r *Result) TotalNanos() int64 {
 // Compile compiles one Delirium source file. With Options.Workers > 1 the
 // parallel driver is used; the output is identical either way.
 func Compile(file, src string, opts Options) (*Result, error) {
+	if opts.Adaptive {
+		opts.Fuse = true
+	}
 	if opts.workers() > 1 {
 		return compileParallel(file, src, opts)
 	}
@@ -209,7 +220,22 @@ func compileSequential(file, src string, opts Options) (*Result, error) {
 	}
 	res.Program = g
 	res.Warnings = collectWarnings(&diags)
+	appendFuseWarnings(res)
 	return res, nil
+}
+
+// appendFuseWarnings surfaces fusion-plan diagnostics — profile keys that
+// matched no operator — as ordinary compile warnings, so a stale or
+// mistargeted profile is visible wherever warnings are printed.
+func appendFuseWarnings(res *Result) {
+	if res.FusePlan == nil {
+		return
+	}
+	if keys := res.FusePlan.UnmatchedProfileKeys; len(keys) > 0 {
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"fusion profile: %d key(s) matched no operator (unmatched operators use unit weight): %s",
+			len(keys), strings.Join(keys, ", ")))
+	}
 }
 
 // collectWarnings extracts warning-severity diagnostics as rendered lines.
@@ -401,6 +427,7 @@ func compileParallel(file, src string, opts Options) (*Result, error) {
 	}
 	res.Program = g
 	res.Warnings = collectWarnings(&diags)
+	appendFuseWarnings(res)
 	return res, nil
 }
 

@@ -131,6 +131,12 @@ type Config struct {
 	// nil injects nothing. Plans are stateful — use a fresh or Reset plan
 	// per run.
 	Faults *FaultPlan
+	// PoolClassCaps overrides the per-worker block pools' free-list caps by
+	// size class (see value.BlockPool.SetClassCaps); nil keeps the defaults.
+	// The adaptive loop derives these from a calibration run's measured
+	// recycle demand so hot classes keep more payloads warm and cold ones
+	// pin less garbage. Caps only shape pool retention — never results.
+	PoolClassCaps []int
 }
 
 // RetryPolicy controls deterministic operator retry.
@@ -280,6 +286,7 @@ func New(prog *graph.Program, cfg Config) *Engine {
 		e.memStates = make([]*memState, cfg.workers()+1)
 		for i := range e.memStates {
 			e.memStates[i] = &memState{}
+			e.memStates[i].pool.SetClassCaps(cfg.PoolClassCaps)
 		}
 	}
 	if cfg.Timing {

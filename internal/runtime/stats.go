@@ -185,6 +185,11 @@ type TimingEntry struct {
 	Proc     int
 	Start    int64 // virtual start time (Simulated) or offset nanoseconds (Real)
 	Ticks    int64 // virtual ticks (Simulated) or nanoseconds (Real)
+	// Fused marks an entry recorded inside a fused supernode. Fused member
+	// entries price the operator body only, while unfused Simulated entries
+	// also include the machine's dispatch charge; profile extraction
+	// (Engine.ProfileWeights) uses the flag to normalize the two.
+	Fused bool
 }
 
 // TimingLog collects node timings from all workers. The engine's executors

@@ -95,18 +95,41 @@ type Spec struct {
 	// must not retain v (the server releases it after rendering); nil =
 	// generic encoding.
 	Render func(v value.Value) (any, error)
+	// Recompile, when non-nil, rebuilds the program with fusion priorities
+	// seeded from a measured operator profile — the hook POST
+	// /programs/{name}/tune uses to re-fuse under traffic. Programs without
+	// it are not tunable.
+	Recompile func(prof map[string]int64) (*graph.Program, error)
 }
 
-// program is one registered entry: the spec, its engine pool, and its
-// aggregated counters (all atomics; read by /metrics while runs mutate).
+// program is one registered entry: the spec, its current program graph and
+// engine pool (both swappable — the adaptive tune path replaces them under
+// traffic), and its aggregated counters (all atomics; read by /metrics while
+// runs mutate).
 type program struct {
 	spec Spec
-	pool *runtime.EnginePool
+	// prog is the currently-served graph: spec.Prog until a tune wins, the
+	// re-fused graph after. pool serves engines for exactly that graph; the
+	// two swap together (pool last) and every run captures one pool pointer
+	// for its whole checkout/return cycle, so a mid-run swap can never
+	// return an engine to a pool built for a different graph.
+	prog atomic.Pointer[graph.Program]
+	pool atomic.Pointer[runtime.EnginePool]
+	// tuneMu serializes tunes per program; running tunes concurrently would
+	// race the swap and waste calibration work.
+	tuneMu sync.Mutex
 
 	runs     atomic.Int64 // completed successfully
 	failures [6]atomic.Int64
 	agg      statsAgg
 	leakRuns atomic.Int64
+
+	// Adaptive-tune telemetry for /metrics.
+	tunes          atomic.Int64 // completed tune requests
+	tuneSwaps      atomic.Int64 // tunes whose re-fused plan won and was swapped in
+	tuneAdvisories atomic.Int64 // granularity advisories emitted across tunes
+	lastImbalanced atomic.Int64 // 1 when the last tune saw a split advisory
+	lastGainPct    atomic.Int64 // last tune's gain in basis points (1/100 %)
 }
 
 // statsAgg accumulates runtime.Stats across runs for /metrics.
@@ -191,13 +214,8 @@ func (s *Server) Register(spec Spec) error {
 		return fmt.Errorf("server: set Spec.Faults (per-engine factory), not Base.Faults — fault plans are stateful and must not be shared across pooled engines")
 	}
 	p := &program{spec: spec}
-	p.pool = runtime.NewEnginePool(s.cfg.PoolIdle, func() *runtime.Engine {
-		cfg := spec.Base
-		if spec.Faults != nil {
-			cfg.Faults = spec.Faults()
-		}
-		return runtime.New(spec.Prog, cfg)
-	})
+	p.prog.Store(spec.Prog)
+	p.pool.Store(s.buildPool(spec, spec.Prog, nil))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.programs[spec.Name]; dup {
@@ -206,6 +224,19 @@ func (s *Server) Register(spec Spec) error {
 	}
 	s.programs[spec.Name] = p
 	return nil
+}
+
+// buildPool constructs an engine pool serving prog under spec's base
+// config, with optional adaptive pool-class caps applied to every engine.
+func (s *Server) buildPool(spec Spec, prog *graph.Program, poolCaps []int) *runtime.EnginePool {
+	return runtime.NewEnginePool(s.cfg.PoolIdle, func() *runtime.Engine {
+		cfg := spec.Base
+		cfg.PoolClassCaps = poolCaps
+		if spec.Faults != nil {
+			cfg.Faults = spec.Faults()
+		}
+		return runtime.New(prog, cfg)
+	})
 }
 
 // Programs returns the registered program names, sorted.
@@ -361,11 +392,15 @@ func (s *Server) execute(ctx context.Context, p *program, req RunRequest, args [
 		}
 	}()
 
-	eng := p.pool.Get()
+	// Capture one pool pointer for the whole checkout/return cycle: a tune
+	// swapping p.pool mid-run must not see this engine returned to the new
+	// pool (it was built for the old graph).
+	pool := p.pool.Load()
+	eng := pool.Get()
 	reusedEngine := eng.Runs() > 0
 	if err := eng.SetMaxOps(s.clampMaxOps(req.MaxOps)); err != nil {
 		// A pooled engine is never running; treat this as the bug it is.
-		p.pool.Put(eng)
+		pool.Put(eng)
 		return nil, &APIError{Status: http.StatusInternalServerError, Code: "internal",
 			Message: fmt.Sprintf("budget: %v", err)}
 	}
@@ -390,7 +425,7 @@ func (s *Server) execute(ctx context.Context, p *program, req RunRequest, args [
 		} else {
 			p.recordFailure(0)
 		}
-		s.finishRun(p, eng)
+		s.finishRun(p, pool, eng)
 		return nil, apiErr
 	}
 
@@ -406,7 +441,7 @@ func (s *Server) execute(ctx context.Context, p *program, req RunRequest, args [
 	// returns to the pool — Reset would zero the counters Freed lands on.
 	value.Release(v, &eng.Stats().Blocks)
 	if rerr != nil {
-		s.finishRun(p, eng)
+		s.finishRun(p, pool, eng)
 		return nil, &APIError{Status: http.StatusInternalServerError, Code: "internal",
 			Message: fmt.Sprintf("render: %v", rerr)}
 	}
@@ -429,22 +464,23 @@ func (s *Server) execute(ctx context.Context, p *program, req RunRequest, args [
 		},
 	}
 	p.runs.Add(1)
-	s.finishRun(p, eng)
+	s.finishRun(p, pool, eng)
 	return resp, nil
 }
 
 // finishRun settles one run's accounting: merge the engine's counters into
 // the program aggregate, assert the leak invariant, and return the engine
-// to the pool — unless it leaked, in which case it is quarantined (dropped)
-// so a corrupted engine can never serve another request.
-func (s *Server) finishRun(p *program, eng *runtime.Engine) {
+// to the pool it was checked out of — unless it leaked, in which case it is
+// quarantined (dropped) so a corrupted engine can never serve another
+// request.
+func (s *Server) finishRun(p *program, pool *runtime.EnginePool, eng *runtime.Engine) {
 	st := eng.Stats()
 	p.agg.merge(st)
 	if st.Blocks.Allocated != st.Blocks.Freed {
 		p.leakRuns.Add(1)
 		return // quarantine: do not repool
 	}
-	p.pool.Put(eng)
+	pool.Put(eng)
 }
 
 // classifyRunError maps a runtime failure to the API error surface.

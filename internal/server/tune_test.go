@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTuneSwapsUnderTraffic: tune a catalog program while concurrent runs
+// hammer it, then verify the post-swap plan still returns results
+// bit-identical to the pre-tune baseline and the tune telemetry shows up in
+// /metrics.
+func TestTuneSwapsUnderTraffic(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4, QueueDepth: 64})
+	mustRegister(t, s, catalogSpec(t, "queens6", 2, 1990))
+
+	ref, apiErr := s.Execute(context.Background(), "queens6", RunRequest{})
+	if apiErr != nil {
+		t.Fatalf("baseline: %v", apiErr)
+	}
+	refJSON, _ := json.Marshal(ref.Result)
+
+	// Run traffic concurrently with the tune: the pool swap must never feed
+	// an in-flight engine to the wrong pool or change any result.
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, apiErr := s.Execute(context.Background(), "queens6", RunRequest{})
+			if apiErr != nil {
+				done <- apiErr
+				return
+			}
+			if j, _ := json.Marshal(resp.Result); !bytes.Equal(j, refJSON) {
+				done <- &APIError{Message: "result diverged during tune: " + string(j)}
+				return
+			}
+			done <- nil
+		}()
+	}
+
+	tr, apiErr := s.TuneProgram(context.Background(), "queens6", TuneRequest{})
+	if apiErr != nil {
+		t.Fatalf("tune: %v", apiErr)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	if tr.Operators == 0 {
+		t.Error("tune calibrated no operators")
+	}
+	if tr.Winner != "tuned" && tr.Winner != "baseline" {
+		t.Errorf("winner = %q", tr.Winner)
+	}
+	if tr.Swapped != (tr.Winner == "tuned") {
+		t.Errorf("swapped=%v but winner=%q", tr.Swapped, tr.Winner)
+	}
+
+	// Post-tune runs — whichever plan now serves — must stay bit-identical.
+	for i := 0; i < 4; i++ {
+		resp, apiErr := s.Execute(context.Background(), "queens6", RunRequest{})
+		if apiErr != nil {
+			t.Fatalf("post-tune run: %v", apiErr)
+		}
+		if j, _ := json.Marshal(resp.Result); !bytes.Equal(j, refJSON) {
+			t.Errorf("post-tune result diverged:\n got %s\nwant %s", j, refJSON)
+		}
+	}
+	leakCheck(t, s)
+
+	metrics := s.MetricsText()
+	for _, want := range []string{
+		`delserver_tunes_total{program="queens6"} 1`,
+		`delserver_tune_advisories_total{program="queens6"}`,
+		`delserver_tune_last_imbalanced{program="queens6"}`,
+		`delserver_tune_last_gain_basis_points{program="queens6"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestTuneHTTPAndErrors drives POST /programs/{name}/tune over HTTP and
+// checks the error surface: unknown programs 404 and programs without a
+// recompile hook are rejected as untunable.
+func TestTuneHTTPAndErrors(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, QueueDepth: 4})
+	mustRegister(t, s, catalogSpec(t, "jacobi", 2, 0))
+	mustRegister(t, s, slowSpec(t, "plain", 1, 1)) // no Recompile hook
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/programs/jacobi/tune", "application/json",
+		strings.NewReader(`{"timeout_ms": 30000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tune status = %d", resp.StatusCode)
+	}
+	var tr TuneResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Program != "jacobi" || tr.BaselineCost <= 0 || tr.TunedCost <= 0 {
+		t.Errorf("bad tune response: %+v", tr)
+	}
+	if tr.Unit != "ns" {
+		t.Errorf("unit = %q", tr.Unit)
+	}
+
+	for _, c := range []struct {
+		name string
+		want int
+	}{
+		{"nonesuch", http.StatusNotFound},
+		{"plain", http.StatusUnprocessableEntity},
+	} {
+		resp, err := http.Post(ts.URL+"/programs/"+c.name+"/tune", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("tune %s status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}

@@ -17,6 +17,13 @@ type BlockPool struct {
 	classes [poolClasses][]BlockData
 	puts    int64
 	hits    int64
+	// caps overrides poolClassCap per size class when non-zero; an adaptive
+	// plan sizes hot classes up and cold classes down from measured demand.
+	caps [poolClasses]int32
+	// demand counts every recyclable payload offered per class, including
+	// offers dropped at the cap — the signal the adaptive planner sizes
+	// caps from.
+	demand [poolClasses]int64
 }
 
 const (
@@ -50,7 +57,15 @@ func (p *BlockPool) Put(data BlockData) {
 		return
 	}
 	c := poolClass(data.Size())
-	if c >= poolClasses || len(p.classes[c]) >= poolClassCap {
+	if c >= poolClasses {
+		return
+	}
+	p.demand[c]++
+	limit := poolClassCap
+	if p.caps[c] > 0 {
+		limit = int(p.caps[c])
+	}
+	if len(p.classes[c]) >= limit {
 		return
 	}
 	p.classes[c] = append(p.classes[c], data)
@@ -164,3 +179,38 @@ func (p *BlockPool) Puts() int64 {
 	}
 	return p.puts
 }
+
+// SetClassCaps overrides the per-class free-list caps. Entry i caps size
+// class i (payloads of up to 2^i words); zero entries keep the default cap.
+// Slices shorter than the class count leave the remaining classes at the
+// default; longer slices are truncated.
+func (p *BlockPool) SetClassCaps(caps []int) {
+	if p == nil {
+		return
+	}
+	for i := range p.caps {
+		p.caps[i] = 0
+	}
+	for i, c := range caps {
+		if i >= poolClasses {
+			break
+		}
+		if c > 0 {
+			p.caps[i] = int32(c)
+		}
+	}
+}
+
+// ClassDemand returns per-class recycle-offer counts (including offers
+// dropped at the cap), indexed by size class.
+func (p *BlockPool) ClassDemand() []int64 {
+	if p == nil {
+		return nil
+	}
+	out := make([]int64, poolClasses)
+	copy(out, p.demand[:])
+	return out
+}
+
+// PoolClasses is the number of size classes a BlockPool maintains.
+const PoolClasses = poolClasses
