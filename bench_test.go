@@ -36,6 +36,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/machine"
 	"repro/internal/operator"
+	"repro/internal/opt"
 	"repro/internal/queens"
 	"repro/internal/ray"
 	"repro/internal/retina"
@@ -736,3 +737,113 @@ func benchAdaptiveJacobi(b *testing.B, tuned bool) {
 
 func BenchmarkAdaptiveJacobiUnit(b *testing.B)  { benchAdaptiveJacobi(b, false) }
 func BenchmarkAdaptiveJacobiTuned(b *testing.B) { benchAdaptiveJacobi(b, true) }
+
+// affinityBenchRegistry builds the block-chain operators for the locality
+// pair: amk allocates an owned block, astep mutates it in place, asum folds
+// it to a float. Work charges are kept small relative to the block size so
+// the modeled memory traffic — local vs remote words on the NUMA profile —
+// dominates each step's price.
+func affinityBenchRegistry() *operator.Registry {
+	reg := operator.NewRegistry(operator.Builtins())
+	reg.MustRegister(&operator.Operator{
+		Name: "amk", Arity: 1, Fresh: true,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			n := int(args[0].(value.Int))
+			vec := make(value.FloatVec, n)
+			for i := range vec {
+				vec[i] = float64(i % 7)
+			}
+			ctx.Charge(int64(n / 8))
+			return value.NewBlockStats(vec, ctx.BlockStats()), nil
+		},
+	})
+	reg.MustRegister(&operator.Operator{
+		Name: "astep", Arity: 1, Destructive: []bool{true},
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			vec := args[0].(*value.Block).Data().(value.FloatVec)
+			for i := range vec {
+				vec[i] += 1
+			}
+			ctx.Charge(int64(len(vec) / 8))
+			return args[0], nil
+		},
+	})
+	reg.MustRegister(&operator.Operator{
+		Name: "asum", Arity: 1,
+		Fn: func(ctx operator.Context, args []value.Value) (value.Value, error) {
+			vec := args[0].(*value.Block).Data().(value.FloatVec)
+			var s float64
+			for _, x := range vec {
+				s += x
+			}
+			ctx.Charge(int64(len(vec) / 8))
+			return value.Float(s), nil
+		},
+	})
+	return reg
+}
+
+// affinityBenchSource is `chains` independent destructive block chains of
+// `depth` astep links over `words`-word blocks, folded with adds — one
+// block-carrying chain per processor with room to spare, so a scheduler
+// that follows the compile-time hints keeps every chain on one processor
+// (all-local traffic) while earliest-free placement scatters the links
+// across processors and pays the remote-word rate on each hop.
+func affinityBenchSource(chains, depth, words int) string {
+	var sb strings.Builder
+	sb.WriteString("main()\n  let ")
+	for c := 1; c <= chains; c++ {
+		prev := fmt.Sprintf("c%dk0", c)
+		fmt.Fprintf(&sb, "%s = amk(%d)\n      ", prev, words)
+		for k := 1; k <= depth; k++ {
+			v := fmt.Sprintf("c%dk%d", c, k)
+			fmt.Fprintf(&sb, "%s = astep(%s)\n      ", v, prev)
+			prev = v
+		}
+		fmt.Fprintf(&sb, "s%d = asum(%s)\n", c, prev)
+		if c < chains {
+			sb.WriteString("      ")
+		}
+	}
+	fold := "s1"
+	for c := 2; c <= chains; c++ {
+		fold = fmt.Sprintf("add(%s, s%d)", fold, c)
+	}
+	fmt.Fprintf(&sb, "  in %s\n", fold)
+	return sb.String()
+}
+
+// benchDispatchAffinity is the deterministic half of the locality CI gate:
+// the same affinity-planned program runs on the simulated BBN Butterfly
+// (16 procs, remote words 6x local) with hints on versus off, and the
+// virtual-clock makespan is reported as the gated `vticks` metric. The
+// program is compiled unfused on purpose — every chain link is then an
+// individual placement decision, which is exactly what the hint machinery
+// arbitrates (fusion would collapse each chain to one supernode and hide
+// the placement problem the pair measures).
+func benchDispatchAffinity(b *testing.B, hints bool) {
+	b.Helper()
+	res, err := compile.Compile("affinity.dlr", affinityBenchSource(12, 8, 512),
+		compile.Options{Registry: affinityBenchRegistry(), MemPlan: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt.PlanAffinity(res.Program)
+	var vticks float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := rt.New(res.Program, rt.Config{Mode: rt.Simulated, Workers: 16,
+			Machine: machine.Butterfly(), MaxOps: 10_000_000, AffinityHints: hints})
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+		vticks = float64(sim.Stats().MakespanTicks)
+	}
+	b.ReportMetric(vticks, "vticks")
+}
+
+// BenchmarkDispatchAffinity / BenchmarkDispatchAffinityBase are the CI
+// pair behind BENCH_locality.json: hints on must beat hints off by >=10%
+// on the deterministic vticks metric.
+func BenchmarkDispatchAffinity(b *testing.B)     { benchDispatchAffinity(b, true) }
+func BenchmarkDispatchAffinityBase(b *testing.B) { benchDispatchAffinity(b, false) }

@@ -13,6 +13,7 @@
 //	delprof -fuse -profile weights.json ...    run fused, priorities from a profile
 //	delprof -runs 200 program.dlr              throughput mode: 200 runs on one reused engine
 //	delprof -adaptive program.dlr              calibrate -> re-fuse -> re-run, keep the winner
+//	delprof -affinity -steals program.dlr      affinity plan + per-worker steal/park report
 //
 // -trace writes the structured execution trace in Chrome trace-event JSON
 // (load it at ui.perfetto.dev): one track per worker, a slice per node
@@ -53,6 +54,8 @@ func main() {
 		profout  = flag.String("profout", "", "write the measured mean operator costs as a JSON profile here")
 		runs     = flag.Int("runs", 1, "execute the program this many times on one reused engine (throughput mode); listings describe the last run")
 		adaptive = flag.Bool("adaptive", false, "run the adaptive loop: calibrate with timing on, re-fuse and re-plan with measured weights, re-run, keep the winning plan (implies -fuse -memplan)")
+		affinity = flag.Bool("affinity", false, "compile the affinity plan and run with locality hints on (implies -fuse); prints the plan and hit/miss counters")
+		steals   = flag.Bool("steals", false, "print the per-worker steal/park/affinity report (enables tracing)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -84,8 +87,8 @@ func main() {
 			measure = *runs
 		}
 		tres, err := adapt.Tune(nil, name, src, adapt.Config{
-			Compile:     compile.Options{Registry: reg, MemPlan: true, Adaptive: true, FuseProfile: prof},
-			Runtime:     runtime.Config{Mode: mode, Workers: *workers, Machine: mach},
+			Compile:     compile.Options{Registry: reg, MemPlan: true, Adaptive: true, FuseProfile: prof, Affinity: *affinity},
+			Runtime:     runtime.Config{Mode: mode, Workers: *workers, Machine: mach, AffinityHints: *affinity},
 			Args:        cli.ParseArgs(flag.Args()[1:]),
 			MeasureRuns: measure,
 		})
@@ -103,14 +106,15 @@ func main() {
 	}
 
 	res, err := compile.Compile(name, src, compile.Options{
-		Registry: reg, MemPlan: *memplan, Fuse: *fuse, FuseProfile: prof})
+		Registry: reg, MemPlan: *memplan, Fuse: *fuse, FuseProfile: prof, Affinity: *affinity})
 	fail(err)
 	for _, w := range res.Warnings {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}
 	eng := runtime.New(res.Program, runtime.Config{
 		Mode: mode, Workers: *workers, Machine: mach, Timing: true,
-		Trace: *traceOut != "" || *critpath})
+		AffinityHints: *affinity,
+		Trace:         *traceOut != "" || *critpath || *steals})
 	args := cli.ParseArgs(flag.Args()[1:])
 	// Throughput mode: re-run the same program on the same engine, Reset
 	// between runs, so the warmed activation pools, block free lists, and
@@ -188,6 +192,16 @@ func main() {
 		} else {
 			fmt.Println("critical path: no completed node executions recorded")
 		}
+	}
+	if *steals {
+		fmt.Println()
+		fmt.Print(eng.Trace().SchedReport().Render())
+	}
+	if *affinity {
+		st := eng.Stats()
+		fmt.Printf("\n%s", res.AffinityPlan.Report())
+		fmt.Printf("affinity dispatch: %d hits / %d misses, %d batched steals moving %d tasks\n",
+			st.AffinityHits, st.AffinityMisses, st.BatchSteals, st.BatchStolenTasks)
 	}
 	if *memplan {
 		st := eng.Stats()

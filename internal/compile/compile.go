@@ -67,6 +67,15 @@ type Options struct {
 	// only keeps a caller from requesting adaptation without the pass that
 	// consumes its measurements.
 	Adaptive bool
+	// Affinity runs the affinity-plan pass (opt.PlanAffinity) after fusion:
+	// every node gets an advisory preferred-producer edge and a weight tier,
+	// which the Real executor (under Config.AffinityHints) turns into
+	// producer-preferred dispatch and batched, locality-ranked stealing, and
+	// the Simulated executor into hint-driven placement. Implies Fuse, since
+	// the tiers come from fusion's bottom levels (and composes with MemPlan,
+	// whose ownership facts pick the block-carrying edges). Hints are
+	// advisory-only: results are bit-identical with the pass on or off.
+	Affinity bool
 }
 
 func (o Options) registry() *operator.Registry {
@@ -115,6 +124,9 @@ type Result struct {
 	MemPlan *opt.MemPlan
 	// FusePlan is the operator-fusion report, nil unless Options.Fuse was set.
 	FusePlan *opt.FusePlan
+	// AffinityPlan is the affinity-hint report, nil unless Options.Affinity
+	// was set.
+	AffinityPlan *opt.AffinityPlan
 }
 
 // PassNanos returns the duration of the named pass (0 if absent).
@@ -139,7 +151,7 @@ func (r *Result) TotalNanos() int64 {
 // Compile compiles one Delirium source file. With Options.Workers > 1 the
 // parallel driver is used; the output is identical either way.
 func Compile(file, src string, opts Options) (*Result, error) {
-	if opts.Adaptive {
+	if opts.Adaptive || opts.Affinity {
 		opts.Fuse = true
 	}
 	if opts.workers() > 1 {
@@ -216,6 +228,11 @@ func compileSequential(file, src string, opts Options) (*Result, error) {
 	if opts.Fuse {
 		timePass(res, "Fusion", func() {
 			res.FusePlan = opt.FuseGraph(g, opts.FuseProfile)
+		})
+	}
+	if opts.Affinity {
+		timePass(res, "Affinity Plan", func() {
+			res.AffinityPlan = opt.PlanAffinity(g)
 		})
 	}
 	res.Program = g
@@ -423,6 +440,11 @@ func compileParallel(file, src string, opts Options) (*Result, error) {
 		// stays sequential in the parallel driver.
 		timePass(res, "Fusion", func() {
 			res.FusePlan = opt.FuseGraph(g, opts.FuseProfile)
+		})
+	}
+	if opts.Affinity {
+		timePass(res, "Affinity Plan", func() {
+			res.AffinityPlan = opt.PlanAffinity(g)
 		})
 	}
 	res.Program = g

@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/opt"
+	"repro/internal/value"
+)
+
+// affinitySrc is a block-carrying recursive fan-out: every leaf allocates
+// a fresh block, destructively fills it (retryable — a fault target), and
+// folds the blocks' sums upward in a fixed graph shape, so the float
+// result is bit-identical iff every block was filled and read correctly.
+const affinitySrc = `
+tree(n)
+  if is_equal(n, 0)
+  then blocksum(rfill(mkblock(4), 1))
+  else add(tree(sub(n, 1)), add(tree(sub(n, 1)), blocksum(rfill(mkblock(8), n))))
+
+main(n) tree(n)
+`
+
+// compileAffinity builds affinitySrc with the full optimizing pipeline in
+// compile-driver order (memplan -> fuse -> affinity plan).
+func compileAffinity(t *testing.T) *graph.Program {
+	t.Helper()
+	g := compile(t, affinitySrc, faultOps())
+	opt.PlanMemory(g)
+	opt.FuseGraph(g, nil)
+	opt.PlanAffinity(g)
+	if !g.AffinityPlanned {
+		t.Fatal("AffinityPlanned not set")
+	}
+	return g
+}
+
+// TestAffinityBitIdentity is the tentpole's advisory-only guarantee: with
+// the affinity plan compiled in, results are bit-identical across 1/2/8
+// workers with hints on and off, composed with fusion, the memory plan,
+// and seeded faults under retry.
+func TestAffinityBitIdentity(t *testing.T) {
+	g := compileAffinity(t)
+	var ref string
+	for _, workers := range []int{1, 2, 8} {
+		for _, hints := range []bool{false, true} {
+			name := fmt.Sprintf("w%d/hints=%v", workers, hints)
+			cfg := Config{
+				Mode: Real, Workers: workers, MaxOps: 5_000_000,
+				AffinityHints: hints,
+				Retry:         RetryPolicy{MaxAttempts: 3},
+				// Each engine needs a private plan: plans keep cursors.
+				Faults: SeededFaultPlan(7, []string{"rfill"}, 40),
+			}
+			e := New(g, cfg)
+			v, err := e.Run(value.Int(6))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got := fmt.Sprintf("%v", v)
+			if ref == "" {
+				ref = got
+			} else if got != ref {
+				t.Fatalf("%s diverged: got %s want %s", name, got, ref)
+			}
+			st := e.Stats()
+			if st.Blocks.Allocated != st.Blocks.Freed {
+				t.Fatalf("%s: block leak: allocated %d freed %d", name,
+					st.Blocks.Allocated, st.Blocks.Freed)
+			}
+			if !hints {
+				if st.AffinityHits != 0 || st.AffinityMisses != 0 ||
+					st.BatchSteals != 0 || st.BatchStolenTasks != 0 {
+					t.Fatalf("%s: affinity counters nonzero with hints off: %+v", name, st)
+				}
+			} else if st.AffinityHits+st.AffinityMisses == 0 {
+				t.Fatalf("%s: no preferred dispatches counted on a hinted program", name)
+			}
+		}
+	}
+}
+
+// TestAffinityCountersGatedByPlan: hints in the config alone do nothing —
+// the program must carry a plan for any affinity machinery to engage.
+func TestAffinityCountersGatedByPlan(t *testing.T) {
+	g := compile(t, affinitySrc, faultOps())
+	opt.PlanMemory(g)
+	opt.FuseGraph(g, nil)
+	e := New(g, Config{Mode: Real, Workers: 4, MaxOps: 5_000_000, AffinityHints: true})
+	if _, err := e.Run(value.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.AffinityHits != 0 || st.AffinityMisses != 0 || st.BatchSteals != 0 {
+		t.Fatalf("affinity counters engaged without a plan: %+v", st)
+	}
+}
+
+// TestAffinitySimDeterministic: the simulated executor's hint placement is
+// part of the deterministic schedule, so repeated runs agree tick-for-tick.
+func TestAffinitySimDeterministic(t *testing.T) {
+	g := compileAffinity(t)
+	var makespan, hits int64
+	for i := 0; i < 3; i++ {
+		e := New(g, Config{Mode: Simulated, Workers: 4, MaxOps: 5_000_000, AffinityHints: true})
+		if _, err := e.Run(value.Int(6)); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		if i == 0 {
+			makespan, hits = st.MakespanTicks, st.AffinityHits
+			if hits == 0 {
+				t.Fatal("simulated placement recorded no affinity hits")
+			}
+			continue
+		}
+		if st.MakespanTicks != makespan || st.AffinityHits != hits {
+			t.Fatalf("run %d: makespan/hits = %d/%d, want %d/%d",
+				i, st.MakespanTicks, st.AffinityHits, makespan, hits)
+		}
+	}
+}
+
+// TestBatchedStealMovesExtras drives the scheduler directly: under
+// affinity, a thief's first successful steal grabs up to half the victim's
+// visible work (capped) onto its own deque, in one sweep.
+func TestBatchedStealMovesExtras(t *testing.T) {
+	var stats Stats
+	s := newStealScheduler(2, &stats, nil)
+	s.affinity = true
+	n := &graph.Node{Name: "op"}
+	for i := 0; i < 10; i++ {
+		s.pushLocalQuiet(1, &task{node: n, from: 1}, PriNormal)
+	}
+	tk := s.find(0)
+	if tk == nil {
+		t.Fatal("find found nothing to steal")
+	}
+	// 10 on the victim: the first steal takes 1, the batch takes half the
+	// remaining 9 -> 4 extras, 5 tasks total.
+	if stats.Steals != 5 || stats.BatchSteals != 1 || stats.BatchStolenTasks != 5 {
+		t.Fatalf("Steals/BatchSteals/BatchStolenTasks = %d/%d/%d, want 5/1/5",
+			stats.Steals, stats.BatchSteals, stats.BatchStolenTasks)
+	}
+	if s.lastVictim[0] != 1 {
+		t.Fatalf("lastVictim[0] = %d, want 1", s.lastVictim[0])
+	}
+	// The extras are on the thief's own deque now: the next finds must pop
+	// locally without another steal.
+	for i := 0; i < 4; i++ {
+		if tk := s.find(0); tk == nil {
+			t.Fatalf("extra %d missing from thief deque", i)
+		}
+	}
+	if stats.Steals != 5 {
+		t.Fatalf("extras were not served locally: Steals = %d", stats.Steals)
+	}
+	// Victim keeps the other half.
+	left := 0
+	for s.find(1) != nil {
+		left++
+	}
+	if left != 5 {
+		t.Fatalf("victim kept %d tasks, want 5", left)
+	}
+}
+
+// TestBatchedStealCap: the batch never exceeds stealBatchMax tasks total,
+// no matter how deep the victim's deque is.
+func TestBatchedStealCap(t *testing.T) {
+	var stats Stats
+	s := newStealScheduler(2, &stats, nil)
+	s.affinity = true
+	n := &graph.Node{Name: "op"}
+	for i := 0; i < 100; i++ {
+		s.pushLocalQuiet(1, &task{node: n, from: 1}, PriNormal)
+	}
+	if tk := s.find(0); tk == nil {
+		t.Fatal("find found nothing to steal")
+	}
+	if stats.BatchStolenTasks != stealBatchMax {
+		t.Fatalf("BatchStolenTasks = %d, want cap %d", stats.BatchStolenTasks, stealBatchMax)
+	}
+}
+
+// TestAffinityStressRepeatedRuns hammers the batched-steal path: many
+// workers, wide fan-out, fresh engines, every run bit-identical and
+// leak-free with coherent counters.
+func TestAffinityStressRepeatedRuns(t *testing.T) {
+	g := compileAffinity(t)
+	var ref string
+	for i := 0; i < 5; i++ {
+		e := New(g, Config{Mode: Real, Workers: 8, MaxOps: 5_000_000, AffinityHints: true})
+		v, err := e.Run(value.Int(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%v", v)
+		if ref == "" {
+			ref = got
+		} else if got != ref {
+			t.Fatalf("run %d diverged: %s vs %s", i, got, ref)
+		}
+		st := e.Stats()
+		if st.Blocks.Allocated != st.Blocks.Freed {
+			t.Fatalf("run %d: leak: allocated %d freed %d", i, st.Blocks.Allocated, st.Blocks.Freed)
+		}
+		if st.BatchStolenTasks < st.BatchSteals {
+			t.Fatalf("run %d: batch counters incoherent: %d events, %d tasks",
+				i, st.BatchSteals, st.BatchStolenTasks)
+		}
+	}
+}

@@ -110,6 +110,16 @@ type Config struct {
 	Trace bool
 	// Affinity selects the simulated scheduler's placement policy.
 	Affinity AffinityPolicy
+	// AffinityHints activates the compile-time affinity plan's placement
+	// hints (programs compiled with compile.Options.Affinity). In Real mode
+	// the hints drive producer-preferred dispatch (the preferred consumer is
+	// popped first on the completing worker) and batched, locality-ranked
+	// stealing; in Simulated mode they drive hint-first placement (the
+	// preferred producer's processor, when free). Hints are advisory-only —
+	// they choose WHERE ready work runs, never whether or with what inputs —
+	// so results are bit-identical with hints on or off, and unplanned
+	// programs ignore the flag entirely (scheduling stays byte-identical).
+	AffinityHints bool
 	// DisablePriorities collapses the three-level ready queue into a single
 	// level (a FIFO in Simulated mode, one deque per worker in Real mode) —
 	// the ablation of §7's priority scheme.
@@ -256,6 +266,12 @@ type Engine struct {
 	// as supernodes and order simultaneously-ready nodes by bottom level.
 	fused bool
 
+	// affinity is prog.AffinityPlanned && cfg.AffinityHints: the executors
+	// then activate producer-preferred dispatch, batched locality-ranked
+	// stealing (Real) and hint-first placement (Simulated). Purely advisory
+	// — see Config.AffinityHints.
+	affinity bool
+
 	// sched is the real executor's work-stealing scheduler, created on the
 	// first multi-worker run and reused (reopened) by every run after it so
 	// a reused engine never reallocates deques or parkers.
@@ -278,7 +294,8 @@ type Engine struct {
 // New prepares an engine for prog under cfg. The same program can be run by
 // many engines; templates are immutable.
 func New(prog *graph.Program, cfg Config) *Engine {
-	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps, fused: prog.Fused}
+	e := &Engine{prog: prog, cfg: cfg, maxOps: cfg.MaxOps, fused: prog.Fused,
+		affinity: prog.AffinityPlanned && cfg.AffinityHints}
 	if cfg.Mode == Simulated {
 		e.simPools = make(map[*graph.Template][]*activation)
 	}
@@ -385,9 +402,10 @@ func (e *Engine) SetMaxOps(n int64) error {
 func (e *Engine) scheduler(workers int) *stealScheduler {
 	if e.sched == nil {
 		e.sched = newStealScheduler(workers, &e.stats, e.tracer)
-		return e.sched
+	} else {
+		e.sched.reopen(e.tracer)
 	}
-	e.sched.reopen(e.tracer)
+	e.sched.affinity = e.affinity
 	return e.sched
 }
 

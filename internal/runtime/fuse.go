@@ -140,7 +140,8 @@ func (e *Engine) execFused(w *worker, a *activation, c *graph.Cluster) error {
 			return err
 		}
 		if e.timing != nil && n.Kind == graph.OpNode {
-			entry := TimingEntry{Name: n.Name, Template: tmpl.Name, Proc: w.proc, Fused: true}
+			entry := TimingEntry{Name: n.Name, Template: tmpl.Name, Proc: w.proc, Fused: true,
+				Stolen: w.taskStolen, Affinity: w.taskAff}
 			if sim {
 				entry.Start, entry.Ticks = simStart, memberEnd-simStart
 			} else {

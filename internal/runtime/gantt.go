@@ -42,6 +42,7 @@ func (l *TimingLog) Gantt(width int) string {
 	// Paint longer entries first so tiny ops cannot hide a dominant one.
 	sorted := append([]TimingEntry(nil), entries...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Ticks > sorted[j].Ticks })
+	marked := false
 	for _, e := range sorted {
 		c0 := int(e.Start * int64(width) / span)
 		c1 := int((e.Start + e.Ticks) * int64(width) / span)
@@ -52,17 +53,32 @@ func (l *TimingLog) Gantt(width int) string {
 			c1 = width
 		}
 		label := e.Name
+		// A stolen task's segment opens with '%', an affinity dispatch
+		// (ran on its preferred producer's worker) with '+'.
+		mark := byte(0)
+		if e.Stolen {
+			mark, marked = '%', true
+		} else if e.Affinity {
+			mark, marked = '+', true
+		}
 		for c := c0; c < c1; c++ {
 			idx := c - c0
 			ch := byte('#')
 			if idx < len(label) {
 				ch = label[idx]
 			}
+			if idx == 0 && mark != 0 {
+				ch = mark
+			}
 			rows[e.Proc][c] = ch
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "virtual time 0..%d ticks, %d cells/row\n", span, width)
+	fmt.Fprintf(&b, "virtual time 0..%d ticks, %d cells/row", span, width)
+	if marked {
+		b.WriteString("  (% stolen, + affinity hit)")
+	}
+	b.WriteString("\n")
 	for p, row := range rows {
 		fmt.Fprintf(&b, "proc %2d |%s|\n", p, row)
 	}

@@ -162,13 +162,29 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 			break
 		}
 
-		proc := e.placeSim(item, procFree, lastProc, t)
+		proc, affHit := e.placeSim(item, procFree, lastProc, t)
 		start := procFree[proc]
 		if item.ready > start {
 			start = item.ready
 		}
 		clock = start
 		w.proc = proc
+		if e.affinity {
+			// Record where this node runs BEFORE executing it: the last
+			// node of an activation recycles it inside execNode, and a
+			// post-exec write could poison the next activation's hints.
+			a := item.act
+			if a.execProc == nil {
+				a.execProc = make([]int32, len(a.tmpl.Nodes))
+			}
+			a.execProc[item.node.ID] = int32(proc) + 1
+			if c := item.node.FuseCluster; c != nil {
+				// Every member runs straight-line on this processor.
+				for _, id := range c.Nodes {
+					a.execProc[id] = int32(proc) + 1
+				}
+			}
+		}
 
 		// Capture the activation identity before execNode: recycling (even a
 		// same-template reuse inside this execNode) restamps seq.
@@ -207,7 +223,7 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 			lastProc[item.node.Name] = proc
 			if e.timing != nil {
 				e.timing.addShard(proc, TimingEntry{Name: item.node.Name, Template: item.act.tmpl.Name,
-					Proc: proc, Start: start, Ticks: dur})
+					Proc: proc, Start: start, Ticks: dur, Affinity: affHit})
 			}
 		}
 		flush(end)
@@ -238,24 +254,38 @@ func (e *Engine) runSimulated(args []value.Value) (value.Value, error) {
 	return e.takeResult()
 }
 
-// placeSim chooses the processor for an item under the configured affinity
-// policy. The preference is overridden when the preferred processor would
-// delay the start (§9.3: "this preference is overridden if the desired
-// processor is busy").
-func (e *Engine) placeSim(item simItem, procFree []int64, lastProc map[string]int, t int64) int {
+// placeSim chooses the processor for an item under the compile-time
+// affinity plan (when active) or the configured §9.3 policy. Every
+// preference is overridden when the preferred processor would delay the
+// start (§9.3: "this preference is overridden if the desired processor is
+// busy"). The second result reports a plan-hint hit, for the timing log.
+func (e *Engine) placeSim(item simItem, procFree []int64, lastProc map[string]int, t int64) (int, bool) {
 	earliest := 0
 	for p := 1; p < len(procFree); p++ {
 		if procFree[p] < procFree[earliest] {
 			earliest = p
 		}
 	}
+	if e.affinity {
+		// Compile-time hint: run on the processor that executed the
+		// preferred producer, inheriting its blocks at local cost.
+		if pid := item.node.AffPreferred; pid >= 0 && item.act.execProc != nil {
+			if pref := int(item.act.execProc[pid]) - 1; pref >= 0 {
+				if procFree[pref] <= t {
+					e.stats.AffinityHits++
+					return pref, true
+				}
+				e.stats.AffinityMisses++
+			}
+		}
+	}
 	if item.node.Kind != graph.OpNode {
-		return earliest
+		return earliest, false
 	}
 	switch e.cfg.Affinity {
 	case AffinityOperator:
 		if pref, ok := lastProc[item.node.Name]; ok && procFree[pref] <= t {
-			return pref
+			return pref, false
 		}
 	case AffinityData:
 		// Weigh candidate processors by resident input words.
@@ -274,8 +304,8 @@ func (e *Engine) placeSim(item simItem, procFree []int64, lastProc map[string]in
 			}
 		}
 		if best >= 0 && procFree[best] <= t {
-			return best
+			return best, false
 		}
 	}
-	return earliest
+	return earliest, false
 }

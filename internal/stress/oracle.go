@@ -19,10 +19,16 @@ type Variant struct {
 	// — the adaptive loop's compile path. Profile weights only reorder
 	// ready queues, so every fingerprint must still match the reference.
 	Profiled bool
+	// Affinity compiles the affinity plan and runs with locality hints on
+	// (producer-preferred dispatch, batched stealing). Hints are advisory —
+	// they move work between workers, never change it — so every
+	// fingerprint must still match the reference.
+	Affinity bool
 }
 
 // Variants returns the compile configurations: the four fuse×memplan
-// combinations plus the profile-guided adaptive recompile.
+// combinations, the profile-guided adaptive recompile, and the
+// affinity-scheduled leg.
 func Variants() []Variant {
 	return []Variant{
 		{Name: "plain"},
@@ -30,6 +36,7 @@ func Variants() []Variant {
 		{Name: "memplan", MemPlan: true},
 		{Name: "fuse+memplan", Fuse: true, MemPlan: true},
 		{Name: "adaptive", Fuse: true, MemPlan: true, Profiled: true},
+		{Name: "affinity", Fuse: true, MemPlan: true, Affinity: true},
 	}
 }
 
@@ -150,6 +157,8 @@ type statsSnap struct {
 	pooledAllocs, copiesAvoided  int64
 	fusedNodes, fusedSaved       int64
 	retries, faultsInjected      int64
+	affHits, affMisses           int64
+	batchSteals, batchStolen     int64
 }
 
 func snap(st *rt.Stats) statsSnap {
@@ -165,6 +174,10 @@ func snap(st *rt.Stats) statsSnap {
 		fusedSaved:     st.FusedDispatchesSaved,
 		retries:        st.Retries,
 		faultsInjected: st.FaultsInjected,
+		affHits:        st.AffinityHits,
+		affMisses:      st.AffinityMisses,
+		batchSteals:    st.BatchSteals,
+		batchStolen:    st.BatchStolenTasks,
 	}
 }
 
@@ -191,6 +204,16 @@ func checkInvariants(v Variant, s RunSpec, st statsSnap) []string {
 	if st.fusedSaved > st.fusedNodes || st.fusedNodes > st.ops {
 		bad = append(bad, fmt.Sprintf("fusion counters incoherent: saved=%d nodes=%d ops=%d",
 			st.fusedSaved, st.fusedNodes, st.ops))
+	}
+	if !v.Affinity {
+		if st.affHits != 0 || st.affMisses != 0 || st.batchSteals != 0 || st.batchStolen != 0 {
+			bad = append(bad, fmt.Sprintf(
+				"affinity counters nonzero without affinity: hits=%d misses=%d batch=%d/%d",
+				st.affHits, st.affMisses, st.batchSteals, st.batchStolen))
+		}
+	} else if st.batchStolen < st.batchSteals {
+		bad = append(bad, fmt.Sprintf("batch-steal counters incoherent: %d events moved %d tasks",
+			st.batchSteals, st.batchStolen))
 	}
 	if s.Faults {
 		if st.retries < st.faultsInjected {
@@ -235,7 +258,9 @@ func runSpec(rep *Report, v Variant, s RunSpec, res *compile.Result) {
 		}
 	}
 
-	eng := rt.New(res.Program, s.config())
+	cfg := s.config()
+	cfg.AffinityHints = v.Affinity
+	eng := rt.New(res.Program, cfg)
 	switch s.Reuse {
 	case ReuseRunMany:
 		results, err := eng.RunMany(context.Background(), [][]value.Value{nil, nil})
@@ -299,6 +324,7 @@ func CheckSource(file, src string, specs []RunSpec) *Report {
 			Registry: Operators(),
 			Fuse:     v.Fuse,
 			MemPlan:  v.MemPlan,
+			Affinity: v.Affinity,
 		}
 		if v.Profiled {
 			prof, err := calibrate(file, src, opts)
